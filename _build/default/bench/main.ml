@@ -1,0 +1,572 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation, plus a Bechamel micro-benchmark suite with one
+   test per table/figure covering the static pipeline that the paper's
+   methodology relies on being fast.
+
+   Usage:
+     bench/main.exe                 -- run everything
+     bench/main.exe table1 fig5 ... -- run selected experiments
+     bench/main.exe bechamel        -- only the Bechamel suite
+
+   Shape checks (the qualitative claims the reproduction must satisfy)
+   are printed as CHECK lines with pass/fail. *)
+
+let printf = Printf.printf
+
+let section title =
+  printf "\n==========================================================\n";
+  printf "%s\n" title;
+  printf "==========================================================\n"
+
+let check name ok = printf "CHECK %-60s %s\n" name (if ok then "[pass]" else "[FAIL]")
+
+(* ------------------------------------------------------------------ *)
+(* Shared search results (computed once, reused by several exhibits)   *)
+(* ------------------------------------------------------------------ *)
+
+let matmul_n = 256
+
+let matmul_result =
+  lazy
+    (let t0 = Unix.gettimeofday () in
+     let r = Tuner.Search.run ~app_name:"Matrix Multiplication" (Apps.Matmul.candidates ~n:matmul_n ~max_blocks:8 ()) in
+     printf "(matmul search: %d configs in %.1fs host time)\n%!" (r.space_size + r.invalid)
+       (Unix.gettimeofday () -. t0);
+     r)
+
+let cp_result =
+  lazy
+    (let t0 = Unix.gettimeofday () in
+     let r = Tuner.Search.run ~app_name:"CP" (Apps.Cp.candidates ()) in
+     printf "(cp search: %d configs in %.1fs host time)\n%!" (r.space_size + r.invalid)
+       (Unix.gettimeofday () -. t0);
+     r)
+
+let sad_result =
+  lazy
+    (let t0 = Unix.gettimeofday () in
+     let r = Tuner.Search.run ~app_name:"SAD" (Apps.Sad.candidates ()) in
+     printf "(sad search: %d configs in %.1fs host time)\n%!" (r.space_size + r.invalid)
+       (Unix.gettimeofday () -. t0);
+     r)
+
+let mri_result =
+  lazy
+    (let t0 = Unix.gettimeofday () in
+     let r = Tuner.Search.run ~app_name:"MRI-FHD" (Apps.Mri_fhd.candidates ()) in
+     printf "(mri search: %d configs in %.1fs host time)\n%!" (r.space_size + r.invalid)
+       (Unix.gettimeofday () -. t0);
+     r)
+
+let all_results () =
+  [ Lazy.force matmul_result; Lazy.force mri_result; Lazy.force cp_result; Lazy.force sad_result ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: properties of GeForce 8800 memories                        *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: Properties of GeForce 8800 Memories (model parameters)";
+  let rows =
+    List.map
+      (fun (m : Gpu.Arch.memory_row) ->
+        [ m.mem_name; m.location; m.size; m.latency; (if m.read_only then "yes" else "no") ])
+      Gpu.Arch.memories
+  in
+  print_string (Tuner.Report.table [ "Memory"; "Location"; "Size"; "Latency"; "RO" ] rows);
+  printf "\nSimulator latency/bandwidth parameters:\n";
+  let l = Gpu.Arch.g80_latencies in
+  printf "  issue %d cy/warp, ALU RAW %d cy, SFU %d cy (issue %d), shared %d cy,\n" l.issue l.alu
+    l.sfu l.sfu_issue l.shared;
+  printf "  global %d cy + channel (64B tx / %d cy = %.1f B/cy/SM; %.1f GB/s device)\n" l.global
+    l.coalesced_tx Gpu.Arch.bytes_per_cycle_per_sm Gpu.Arch.global_bandwidth_gbs
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: constraints                                                *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2: Constraints of GeForce 8800 and CUDA";
+  let l = Gpu.Arch.g80 in
+  print_string
+    (Tuner.Report.table
+       [ "Resource or Configuration Parameter"; "Limit" ]
+       [
+         [ "Threads per SM"; Printf.sprintf "%d threads" l.max_threads_per_sm ];
+         [ "Thread Blocks per SM"; Printf.sprintf "%d blocks" l.max_blocks_per_sm ];
+         [ "32-bit Registers per SM"; Printf.sprintf "%d registers" l.regs_per_sm ];
+         [ "Shared Memory per SM"; Printf.sprintf "%d bytes" l.smem_per_sm ];
+         [ "Threads per Thread Block"; Printf.sprintf "%d threads" l.max_threads_per_block ];
+       ]);
+  (* The paper's worked occupancy example (section 2.2). *)
+  let o1 = Gpu.Arch.occupancy ~threads_per_block:256 ~regs_per_thread:10 ~smem_per_block:4096 () in
+  let o2 = Gpu.Arch.occupancy ~threads_per_block:256 ~regs_per_thread:11 ~smem_per_block:4096 () in
+  printf "\nWorked example (sec 2.2): 256 thr/blk, 4KB smem: 10 regs -> %d blocks; 11 regs -> %d blocks\n"
+    o1.blocks_per_sm o2.blocks_per_sm;
+  check "occupancy cliff: 10 regs -> 3 blocks, 11 regs -> 2 blocks"
+    (o1.blocks_per_sm = 3 && o2.blocks_per_sm = 2)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: matmul performance across the abbreviated space           *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section
+    (Printf.sprintf
+       "Figure 3: Matrix Multiplication performance (N=%d, abbreviated space: no spill)" matmul_n);
+  let r = Lazy.force matmul_result in
+  let no_spill =
+    List.filter
+      (fun (m : Tuner.Search.measured) -> List.assoc "spill" m.cand.params = "false")
+      r.exhaustive
+  in
+  let rows =
+    List.map
+      (fun (m : Tuner.Search.measured) ->
+        [
+          m.cand.desc;
+          string_of_int m.cand.resource.regs_per_thread;
+          string_of_int m.cand.occupancy.blocks_per_sm;
+          Printf.sprintf "%.0f" m.cand.profile.instr;
+          Printf.sprintf "%.4f" (m.time_s *. 1000.0);
+        ])
+      no_spill
+  in
+  print_string (Tuner.Report.table [ "Config"; "Regs"; "B_SM"; "Instr"; "Time (ms)" ] rows);
+  let time_of pred =
+    List.filter_map
+      (fun (m : Tuner.Search.measured) -> if pred m.cand then Some m.time_s else None)
+      no_spill
+  in
+  let t8 = time_of (fun (c : Tuner.Candidate.t) -> List.assoc "tile" c.params = "8x8") in
+  let t16 = time_of (fun (c : Tuner.Candidate.t) -> List.assoc "tile" c.params = "16x16") in
+  let best8 = List.fold_left Float.min Float.infinity t8 in
+  let worst16 = List.fold_left Float.max 0.0 t16 in
+  check "every 16x16 configuration outperforms every 8x8 configuration" (worst16 < best8);
+  let best = r.best.cand in
+  printf "optimum: %s (%.4f ms)\n" best.desc (r.best.time_s *. 1000.0);
+  check "optimum is 16x16 / 1x4 / complete unroll (paper's result)"
+    (List.assoc "tile" best.params = "16x16"
+    && List.assoc "rect" best.params = "1x4"
+    && List.assoc "unroll" best.params = "complete");
+  (* Paper sec 3.2: the optimum runs a single 256-thread block per SM.
+     Our register allocator is leaner than ptxas 1.0, so the same
+     configuration fits one more block here; the qualitative claim is
+     that the winner runs at *low* occupancy despite the barrier. *)
+  check "optimum runs at low occupancy (<= 2 blocks/SM; paper: 1)"
+    (best.occupancy.blocks_per_sm <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: SAD full optimization space                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "Figure 4: SAD optimization space (time vs threads per block)";
+  let r = Lazy.force sad_result in
+  let pts =
+    List.map
+      (fun (m : Tuner.Search.measured) ->
+        (float_of_int m.cand.threads_per_block, m.time_s *. 1000.0))
+      r.exhaustive
+  in
+  print_string
+    (Tuner.Report.series_plot ~x_name:"threads per thread block" ~y_name:"time (ms)"
+       [ ("configuration", pts) ]);
+  (* Per-tpb spread, like the paper's many crossing lines. *)
+  let tpbs = List.sort_uniq compare (List.map (fun (x, _) -> int_of_float x) pts) in
+  let rows =
+    List.map
+      (fun tpb ->
+        let ts = List.filter_map (fun (x, y) -> if int_of_float x = tpb then Some y else None) pts in
+        [
+          string_of_int tpb;
+          string_of_int (List.length ts);
+          Printf.sprintf "%.3f" (List.fold_left Float.min Float.infinity ts);
+          Printf.sprintf "%.3f" (List.fold_left Float.max 0.0 ts);
+        ])
+      tpbs
+  in
+  print_string (Tuner.Report.table [ "Threads/block"; "Configs"; "Min ms"; "Max ms" ] rows);
+  printf "space: %d valid configurations (+%d invalid)\n" r.space_size r.invalid;
+  printf "optimum: %s (%.3f ms)\n" r.best.cand.desc (r.best.time_s *. 1000.0);
+  (* The paper's point: the response is complex — per-tpb minima are
+     not monotonic and the best tpb is in the interior. *)
+  let minima =
+    List.map
+      (fun tpb ->
+        List.fold_left Float.min Float.infinity
+          (List.filter_map (fun (x, y) -> if int_of_float x = tpb then Some y else None) pts))
+      tpbs
+  in
+  let sorted = List.sort compare minima in
+  check "performance responds non-monotonically to threads/block"
+    (minima <> sorted && minima <> List.rev sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: CP metrics versus performance                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section "Figure 5: CP metrics versus performance (16x8 blocks, coalesced, tiling sweep)";
+  let r = Lazy.force cp_result in
+  let sweep =
+    List.filter
+      (fun (m : Tuner.Search.measured) ->
+        List.assoc "block" m.cand.params = "16x8" && List.assoc "coalesced" m.cand.params = "true")
+      r.exhaustive
+  in
+  let sweep =
+    List.sort
+      (fun (a : Tuner.Search.measured) b ->
+        compare
+          (int_of_string (List.assoc "tiling" a.cand.params))
+          (int_of_string (List.assoc "tiling" b.cand.params)))
+      sweep
+  in
+  let metric (m : Tuner.Search.measured) = Tuner.Metrics.of_candidate m.cand in
+  let rows =
+    List.map
+      (fun (m : Tuner.Search.measured) ->
+        let mt = metric m in
+        [
+          List.assoc "tiling" m.cand.params;
+          Printf.sprintf "%.3e" mt.efficiency;
+          Printf.sprintf "%.1f" mt.utilization;
+          Printf.sprintf "%.4f" (m.time_s *. 1000.0);
+        ])
+      sweep
+  in
+  print_string (Tuner.Report.table [ "Tiling"; "Efficiency"; "Utilization"; "Time (ms)" ] rows);
+  (* Normalized reciprocal plot, lower is better — the paper's style. *)
+  let norm xs =
+    let m = List.fold_left Float.max 0.0 xs in
+    List.map (fun x -> x /. m) xs
+  in
+  let tf = List.map (fun (m : Tuner.Search.measured) -> float_of_string (List.assoc "tiling" m.cand.params)) sweep in
+  let inv_eff = norm (List.map (fun m -> 1.0 /. (metric m).efficiency) sweep) in
+  let inv_util = norm (List.map (fun m -> 1.0 /. (metric m).utilization) sweep) in
+  let times = norm (List.map (fun (m : Tuner.Search.measured) -> m.time_s) sweep) in
+  print_string
+    (Tuner.Report.series_plot ~x_name:"tiling factor" ~y_name:"normalized (lower=better)"
+       [
+         ("execution time", List.combine tf times);
+         ("1/efficiency", List.combine tf inv_eff);
+         ("1/utilization", List.combine tf inv_util);
+       ]);
+  let effs = List.map (fun m -> (metric m).efficiency) sweep in
+  let utils = List.map (fun m -> (metric m).utilization) sweep in
+  let rec increasing = function a :: b :: tl -> a <= b && increasing (b :: tl) | _ -> true in
+  check "efficiency improves monotonically with tiling factor" (increasing effs);
+  check "utilization worsens monotonically with tiling factor" (increasing (List.rev utils));
+  (* Paper: time follows efficiency until the utilization collapse
+     counters it at tiling 16.  In our simulator the counter-effect
+     appears as saturation — the t8 -> t16 gain shrinks to a fraction
+     of the earlier gains despite efficiency still improving 18%
+     (see EXPERIMENTS.md on the in-order-pipe difference from
+     silicon, where the curve turned slightly upward). *)
+  match List.map (fun (m : Tuner.Search.measured) -> m.time_s) sweep with
+  | [ _t1; t2; t4; t8; t16 ] ->
+    let gain_mid = t4 -. t8 and gain_last = t8 -. t16 in
+    check "returns collapse at tiling 16 as utilization falls (time saturates)"
+      (gain_last < 0.5 *. gain_mid);
+    check "efficiency alone would overshoot: t16 is no real improvement on t8"
+      (t16 > t8 *. 0.9 && t2 > t8)
+  | _ -> check "tiling sweep has five points" false
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6 + Table 4: Pareto pruning for all four applications        *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "Figure 6: Searching by Pareto-Optimal Performance Metrics";
+  List.iter
+    (fun (r : Tuner.Search.result) ->
+      printf "\n--- %s: %d configurations, %d Pareto-selected ---\n" r.app_name r.space_size
+        (List.length r.selected);
+      print_string (Tuner.Report.figure6 r);
+      check
+        (Printf.sprintf "%s: optimum on the Pareto curve (<= 2%% equivalence)" r.app_name)
+        r.optimum_selected;
+      printf "      (strict argmin selected: %b; pruned-search pick: %s, %.4f ms vs optimum %.4f ms)\n"
+        r.optimum_exact r.selected_best.cand.desc
+        (r.selected_best.time_s *. 1000.0) (r.best.time_s *. 1000.0))
+    (all_results ())
+
+let table4 () =
+  section "Table 4: Parameter Search Properties";
+  let rs = all_results () in
+  print_string (Tuner.Report.table Tuner.Report.table4_header (List.map Tuner.Report.table4_row rs));
+  printf "\n(evaluation times are simulated GPU seconds: the cost the paper pays on hardware)\n";
+  List.iter
+    (fun (r : Tuner.Search.result) ->
+      check
+        (Printf.sprintf "%s: search space reduced by >= 50%%" r.app_name)
+        (r.reduction >= 0.5))
+    rs;
+  check "best reduction reaches the paper's 74-98% band"
+    (List.exists (fun (r : Tuner.Search.result) -> r.reduction >= 0.74) rs)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: application suite and speedups                             *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "Table 3: Application Suite (speedup over single-thread CPU model)";
+  let mm = Lazy.force matmul_result in
+  let cp = Lazy.force cp_result in
+  let sad = Lazy.force sad_result in
+  let mri = Lazy.force mri_result in
+  let cp_p = Apps.Cp.setup () in
+  let sad_p = Apps.Sad.setup () in
+  let mri_p = Apps.Mri_fhd.setup () in
+  let rows =
+    [
+      Apps.Cpu_model.row ~app:"Matrix Multiplication"
+        ~description:(Printf.sprintf "dense %dx%d SGEMM (CPU: MKL-class)" matmul_n matmul_n)
+        ~cpu_s:(Apps.Cpu_model.matmul_seconds ~n:matmul_n)
+        ~gpu_s:mm.best.time_s;
+      Apps.Cpu_model.row ~app:"CP"
+        ~description:(Printf.sprintf "%dx%d grid, %d atoms" cp_p.npx cp_p.npy cp_p.natoms)
+        ~cpu_s:(Apps.Cpu_model.cp_seconds ~interactions:(Apps.Cp.interactions cp_p))
+        ~gpu_s:cp.best.time_s;
+      Apps.Cpu_model.row ~app:"SAD"
+        ~description:
+          (Printf.sprintf "QCIF %dx%d, 4x4 blocks, +-%d search" sad_p.w sad_p.h sad_p.sr)
+        ~cpu_s:(Apps.Cpu_model.sad_seconds ~absdiff_ops:(Apps.Sad.absdiff_ops sad_p))
+        ~gpu_s:sad.best.time_s;
+      Apps.Cpu_model.row ~app:"MRI-FHD"
+        ~description:
+          (Printf.sprintf "%d voxels, %d k-space samples" mri_p.nvox mri_p.nsamples)
+        ~cpu_s:(Apps.Cpu_model.mri_seconds ~interactions:(Apps.Mri_fhd.interactions mri_p))
+        ~gpu_s:mri.best.time_s;
+    ]
+  in
+  print_string
+    (Tuner.Report.table
+       [ "Application"; "Description"; "CPU (model)"; "GPU (sim)"; "Speedup" ]
+       (List.map
+          (fun (r : Apps.Cpu_model.row) ->
+            [
+              r.app;
+              r.description;
+              Printf.sprintf "%.4f s" r.cpu_s;
+              Printf.sprintf "%.6f s" r.gpu_s;
+              Printf.sprintf "%.1fx" r.speedup;
+            ])
+          rows));
+  let sp app = (List.find (fun (r : Apps.Cpu_model.row) -> r.app = app) rows).speedup in
+  check "speedup ordering: CP >> MRI-FHD >> {matmul, SAD} (paper's shape)"
+    (sp "CP" > sp "MRI-FHD"
+    && sp "MRI-FHD" > sp "Matrix Multiplication"
+    && sp "MRI-FHD" > sp "SAD")
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: single-metric pruning and random sampling                *)
+(* ------------------------------------------------------------------ *)
+
+(* Section 5.1 of the paper argues that "neither [metric] is sufficient
+   in isolation"; section 7 proposes comparing the method against
+   random sampling of the space.  Both studies, run on every app:
+
+   - prune with efficiency only / utilization only / both (the paper's
+     method), and report the best configuration each finds;
+   - random sampling with the same measurement budget as the Pareto
+     subset, repeated over many seeds: how often does it find a
+     configuration as good as the Pareto pick? *)
+let ablation () =
+  section "Ablation: single-metric pruning and random sampling (paper secs 5.1, 7)";
+  let header =
+    [
+      "Kernel"; "budget"; "Pareto pick"; "eff-only pick"; "util-only pick";
+      "random hit rate";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (r : Tuner.Search.result) ->
+        let time_of (c : Tuner.Candidate.t) =
+          match
+            List.find_opt (fun (m : Tuner.Search.measured) -> m.cand.desc = c.desc) r.exhaustive
+          with
+          | Some m -> m.time_s
+          | None -> infinity
+        in
+        let budget = List.length r.selected in
+        (* Single-metric "frontier" = the top-k by that metric alone,
+           with the same measurement budget. *)
+        let top_k_by proj =
+          let sorted =
+            List.sort (fun (_, a) (_, b) -> compare (proj b) (proj a)) r.all
+          in
+          List.filteri (fun idx _ -> idx < budget) sorted
+        in
+        let best_of sel =
+          List.fold_left (fun acc (c, _) -> Float.min acc (time_of c)) infinity sel
+        in
+        let eff_best = best_of (top_k_by (fun (m : Tuner.Metrics.t) -> m.efficiency)) in
+        let util_best = best_of (top_k_by (fun (m : Tuner.Metrics.t) -> m.utilization)) in
+        let pareto_best = r.selected_best.time_s in
+        (* Random sampling at equal budget: fraction of 200 seeded draws
+           whose best sampled config is within 2% of the Pareto pick. *)
+        let cands = Array.of_list r.exhaustive in
+        let trials = 200 in
+        let hits = ref 0 in
+        for seed = 1 to trials do
+          let rng = Util.Rng.create (seed * 7919) in
+          let best = ref infinity in
+          for _ = 1 to budget do
+            let m = cands.(Util.Rng.int rng (Array.length cands)) in
+            best := Float.min !best m.time_s
+          done;
+          if !best <= pareto_best *. 1.02 then incr hits
+        done;
+        let pct t = Printf.sprintf "%.4f ms (%+.0f%%)" (t *. 1000.0) ((t /. r.best.time_s -. 1.0) *. 100.0) in
+        [
+          r.app_name;
+          string_of_int budget;
+          pct pareto_best;
+          pct eff_best;
+          pct util_best;
+          Printf.sprintf "%.0f%%" (100.0 *. float_of_int !hits /. float_of_int trials);
+        ])
+      (all_results ())
+  in
+  print_string (Tuner.Report.table header rows);
+  printf "\n('+N%%' = slower than the true optimum; hit rate = random sampling matching the\n";
+  printf " Pareto pick within 2%% at equal measurement budget, over 200 seeds)\n";
+  (* What the data supports (and the paper claims in 5.1): a single
+     metric can be a badly insufficient predictor — utilization-only
+     ranking misses the optimum by a large margin on some apps — while
+     the Pareto combination never strays beyond measurement
+     equivalence.  Random sampling at the same budget is a coin flip or
+     worse on the structured spaces. *)
+  let util_gap (r : Tuner.Search.result) =
+    let time_of (c : Tuner.Candidate.t) =
+      match
+        List.find_opt (fun (m : Tuner.Search.measured) -> m.cand.desc = c.desc) r.exhaustive
+      with
+      | Some m -> m.time_s
+      | None -> infinity
+    in
+    let budget = List.length r.selected in
+    let sorted =
+      List.sort
+        (fun (_, (a : Tuner.Metrics.t)) (_, (b : Tuner.Metrics.t)) ->
+          compare b.utilization a.utilization)
+        r.all
+    in
+    let top = List.filteri (fun idx _ -> idx < budget) sorted in
+    let best = List.fold_left (fun acc (c, _) -> Float.min acc (time_of c)) infinity top in
+    (best /. r.best.time_s) -. 1.0
+  in
+  check "utilization alone misses the optimum badly on some app (paper 5.1)"
+    (List.exists (fun r -> util_gap r > 0.10) (all_results ()));
+  check "the Pareto combination stays within 2% everywhere"
+    (List.for_all (fun (r : Tuner.Search.result) -> r.optimum_selected) (all_results ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the static pipeline                      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  section "Bechamel: static-pipeline micro-benchmarks (one per exhibit)";
+  let open Bechamel in
+  let mm_cfg = { Apps.Matmul.tile = 16; rect = 2; unroll = 4; prefetch = true; spill = false } in
+  let mm_kir = Apps.Matmul.kernel ~n:matmul_n mm_cfg in
+  let mm_ptx = Ptx.Opt.run (Kir.Lower.lower mm_kir) in
+  let cp_ptx =
+    Ptx.Opt.run
+      (Kir.Lower.lower (Apps.Cp.kernel ~natoms:128 { block_y = 8; tiling = 4; coalesce = true }))
+  in
+  let sad_ptx =
+    Ptx.Opt.run
+      (Kir.Lower.lower
+         (Apps.Sad.kernel ~w:176 ~h:144 ~sr:8 { tpb = 64; tiling = 2; u_vec = 2; u_py = 2; u_px = 4 }))
+  in
+  let mri_ptx =
+    Ptx.Opt.run
+      (Kir.Lower.lower (Apps.Mri_fhd.kernel ~nsamples:64 ~nvox:107520 { tpb = 128; unroll = 4; wpt = 2 }))
+  in
+  let mk_metric ptx tpb threads () =
+    let res = Ptx.Resource.of_kernel ptx in
+    let prof = Ptx.Count.profile_of ptx in
+    let occ =
+      Gpu.Arch.occupancy ~threads_per_block:tpb ~regs_per_thread:res.regs_per_thread
+        ~smem_per_block:res.smem_bytes_per_block ()
+    in
+    Tuner.Metrics.compute ~instr:prof.instr ~regions:prof.regions ~threads
+      ~warps_per_block:occ.warps_per_block ~blocks_per_sm:occ.blocks_per_sm
+  in
+  let pareto_points =
+    List.init 1000 (fun k ->
+        let x = float_of_int (k * 7919 mod 1000) /. 1000.0 in
+        let y = float_of_int (k * 104729 mod 1000) /. 1000.0 in
+        { Tuner.Pareto.x; y })
+  in
+  let tests =
+    [
+      Test.make ~name:"table1/arch-occupancy"
+        (Staged.stage (fun () ->
+             Gpu.Arch.occupancy ~threads_per_block:256 ~regs_per_thread:10 ~smem_per_block:4096 ()));
+      Test.make ~name:"table2/resource-report"
+        (Staged.stage (fun () -> Ptx.Resource.of_kernel mm_ptx));
+      Test.make ~name:"fig3/matmul-compile"
+        (Staged.stage (fun () -> Ptx.Opt.run (Kir.Lower.lower mm_kir)));
+      Test.make ~name:"fig4/sad-metrics" (Staged.stage (mk_metric sad_ptx 64 1e6));
+      Test.make ~name:"fig5/cp-metrics" (Staged.stage (mk_metric cp_ptx 128 1e5));
+      Test.make ~name:"fig6/pareto-frontier"
+        (Staged.stage (fun () -> Tuner.Pareto.frontier_points pareto_points));
+      Test.make ~name:"table3/mri-metrics" (Staged.stage (mk_metric mri_ptx 128 53760.0));
+      Test.make ~name:"table4/instr-count" (Staged.stage (fun () -> Ptx.Count.profile_of mm_ptx));
+    ]
+  in
+  List.iter
+    (fun test ->
+      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
+      let results = Benchmark.all cfg instances test in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ t ] -> printf "  %-28s %12.1f ns/run\n%!" name t
+          | _ -> printf "  %-28s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("table3", table3);
+    ("table4", table4);
+    ("ablation", ablation);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    if args = [] then List.map fst experiments
+    else begin
+      List.iter
+        (fun a ->
+          if not (List.mem_assoc a experiments) then begin
+            printf "unknown experiment %S; available: %s\n" a
+              (String.concat ", " (List.map fst experiments));
+            exit 1
+          end)
+        args;
+      args
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun name -> (List.assoc name experiments) ()) selected;
+  printf "\nTotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)

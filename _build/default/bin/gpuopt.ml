@@ -1,0 +1,194 @@
+(* gpuopt — command-line interface to the optimization-space pruning
+   toolkit.
+
+     gpuopt arch                 print the machine model (Tables 1-2)
+     gpuopt explore <app>        exhaustive vs pruned search, one app
+     gpuopt tune <app>           pruned-only search (the methodology)
+     gpuopt compile <file.mcu>   minicuda -> PTX, resources, profile
+     gpuopt run <file.mcu> ...   compile and simulate a kernel
+
+   Apps: matmul, cp, sad, mri. *)
+
+open Cmdliner
+
+let apps : (string * (unit -> Tuner.Candidate.t list)) list =
+  [
+    ("matmul", fun () -> Apps.Matmul.candidates ());
+    ("cp", fun () -> Apps.Cp.candidates ());
+    ("sad", fun () -> Apps.Sad.candidates ());
+    ("mri", fun () -> Apps.Mri_fhd.candidates ());
+  ]
+
+let app_conv =
+  let parse s =
+    if List.mem_assoc s apps then Ok s
+    else Error (`Msg (Printf.sprintf "unknown app %S (expected matmul|cp|sad|mri)" s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let app_arg =
+  Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Application to search")
+
+(* ------------------------------------------------------------------ *)
+
+let arch_cmd =
+  let doc = "Print the GeForce 8800 machine model (paper Tables 1 and 2)." in
+  let run () =
+    let l = Gpu.Arch.g80 in
+    print_string
+      (Tuner.Report.table
+         [ "Memory"; "Location"; "Size"; "Latency"; "RO" ]
+         (List.map
+            (fun (m : Gpu.Arch.memory_row) ->
+              [ m.mem_name; m.location; m.size; m.latency; (if m.read_only then "yes" else "no") ])
+            Gpu.Arch.memories));
+    Printf.printf "\n";
+    print_string
+      (Tuner.Report.table
+         [ "Constraint"; "Limit" ]
+         [
+           [ "Threads per SM"; string_of_int l.max_threads_per_sm ];
+           [ "Thread blocks per SM"; string_of_int l.max_blocks_per_sm ];
+           [ "32-bit registers per SM"; string_of_int l.regs_per_sm ];
+           [ "Shared memory per SM (bytes)"; string_of_int l.smem_per_sm ];
+           [ "Threads per block"; string_of_int l.max_threads_per_block ];
+         ]);
+    Printf.printf "\nPeak %.1f GFLOPS, %.1f GB/s global bandwidth, %.2f GHz\n" Gpu.Arch.peak_gflops
+      Gpu.Arch.global_bandwidth_gbs Gpu.Arch.clock_ghz
+  in
+  Cmd.v (Cmd.info "arch" ~doc) Term.(const run $ const ())
+
+let explore_cmd =
+  let doc =
+    "Exhaustively measure an application's optimization space, then compare against the \
+     Pareto-pruned search (paper Table 4 / Figure 6)."
+  in
+  let run app =
+    let r = Tuner.Search.run ~app_name:app ((List.assoc app apps) ()) in
+    Printf.printf "%d valid configurations (%d invalid)\n\n" r.space_size r.invalid;
+    print_string (Tuner.Report.figure6 r);
+    Printf.printf "\n";
+    print_string (Tuner.Report.table Tuner.Report.table4_header [ Tuner.Report.table4_row r ]);
+    Printf.printf "\ntrue optimum:   %s  (%.4f ms)\n" r.best.cand.desc (r.best.time_s *. 1000.0);
+    Printf.printf "pruned search:  %s  (%.4f ms)\n" r.selected_best.cand.desc
+      (r.selected_best.time_s *. 1000.0)
+  in
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ app_arg)
+
+let tune_cmd =
+  let doc =
+    "Run the paper's methodology: compile the whole space, compute the static metrics, measure \
+     only the Pareto-optimal subset, report the chosen configuration."
+  in
+  let run app =
+    let cands = (List.assoc app apps) () in
+    let best, selected = Tuner.Search.tune ~app_name:app cands in
+    Printf.printf "space: %d configurations, measured only %d (%.0f%% pruned)\n"
+      (List.length (List.filter (fun (c : Tuner.Candidate.t) -> c.valid) cands))
+      (List.length selected)
+      (100.0
+      *. (1.0
+         -. float_of_int (List.length selected)
+            /. float_of_int (List.length (List.filter (fun (c : Tuner.Candidate.t) -> c.valid) cands))
+         ));
+    List.iter
+      (fun ((c : Tuner.Candidate.t), (m : Tuner.Metrics.t)) ->
+        Printf.printf "  candidate %-28s eff=%.3e util=%8.1f\n" c.desc m.efficiency m.utilization)
+      selected;
+    Printf.printf "chosen: %s (%.4f ms simulated)\n" best.cand.desc (best.time_s *. 1000.0)
+  in
+  Cmd.v (Cmd.info "tune" ~doc) Term.(const run $ app_arg)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minicuda source file")
+
+let compile_cmd =
+  let doc = "Compile a minicuda file to the PTX-like ISA and report resources and profile." in
+  let run file =
+    List.iter
+      (fun k ->
+        let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
+        print_string (Ptx.Pp.kernel ptx);
+        let res = Ptx.Resource.of_kernel ptx in
+        Format.printf "// %a@." Ptx.Resource.pp res;
+        let prof = Ptx.Count.profile_of ptx in
+        Printf.printf
+          "// profile: %.0f dynamic instrs/thread, %.0f regions, %.0f barriers, %.0f bytes \
+           off-chip/thread\n\n"
+          prof.instr prof.regions prof.barriers prof.global_bytes)
+      (Minicuda.Parser.parse_file file)
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ file_arg)
+
+let run_cmd =
+  let doc =
+    "Compile a single-kernel minicuda file and simulate it.  Buffers named with --buf are \
+     zero-initialized (or ramp-initialized with --ramp) and the first words of each are printed \
+     after the run."
+  in
+  let grid = Arg.(value & opt (pair ~sep:'x' int int) (1, 1) & info [ "grid" ] ~docv:"GXxGY") in
+  let block = Arg.(value & opt (pair ~sep:'x' int int) (32, 1) & info [ "block" ] ~docv:"BXxBY") in
+  let bufs =
+    Arg.(value & opt_all (pair ~sep:'=' string int) [] & info [ "buf" ] ~docv:"NAME=WORDS")
+  in
+  let ramps =
+    Arg.(value & opt_all string [] & info [ "ramp" ] ~docv:"NAME" ~doc:"initialize NAME to 0,1,2,...")
+  in
+  let ints = Arg.(value & opt_all (pair ~sep:'=' string int) [] & info [ "int" ] ~docv:"NAME=V") in
+  let floats =
+    Arg.(value & opt_all (pair ~sep:'=' string float) [] & info [ "float" ] ~docv:"NAME=V")
+  in
+  let show = Arg.(value & opt int 8 & info [ "show" ] ~docv:"N" ~doc:"words of output to print") in
+  let run file (gx, gy) (bx, by) bufs ramps ints floats show =
+    let kir = List.hd (Minicuda.Parser.parse_file file) in
+    let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
+    let dev = Gpu.Device.create () in
+    let buffers =
+      List.map
+        (fun (name, words) ->
+          let space =
+            match List.find_opt (fun (a : Kir.Ast.array_param) -> a.aname = name) kir.array_params with
+            | Some a -> a.aspace
+            | None -> failwith (Printf.sprintf "kernel has no array parameter %S" name)
+          in
+          let b =
+            match space with
+            | Kir.Ast.Const -> Gpu.Device.alloc_const dev words
+            | _ -> Gpu.Device.alloc dev words
+          in
+          if List.mem name ramps then
+            Gpu.Device.to_device dev b (Array.init words float_of_int);
+          (name, b))
+        bufs
+    in
+    let args =
+      List.map (fun (n, b) -> (n, Gpu.Sim.Buf b)) buffers
+      @ List.map (fun (n, v) -> (n, Gpu.Sim.I v)) ints
+      @ List.map (fun (n, v) -> (n, Gpu.Sim.F v)) floats
+    in
+    let launch = { Gpu.Sim.kernel = ptx; grid = (gx, gy); block = (bx, by); args } in
+    let stats = Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks = Gpu.Sim.default_max_blocks }) dev launch in
+    ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional dev launch);
+    Printf.printf
+      "simulated %.0f cycles = %.4f ms  (B_SM=%d, %d regs/thread, %d gmem transactions)\n"
+      stats.cycles (stats.time_s *. 1000.0) stats.occupancy.blocks_per_sm stats.regs_per_thread
+      stats.gmem_transactions;
+    List.iter
+      (fun (name, b) ->
+        let data = Gpu.Device.of_device dev b in
+        let n = min show (Array.length data) in
+        Printf.printf "%s[0..%d] =" name (n - 1);
+        for i = 0 to n - 1 do
+          Printf.printf " %g" data.(i)
+        done;
+        print_newline ())
+      buffers
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ file_arg $ grid $ block $ bufs $ ramps $ ints $ floats $ show)
+
+let () =
+  let doc = "program optimization space pruning for a multithreaded GPU (CGO'08 reproduction)" in
+  let info = Cmd.info "gpuopt" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ arch_cmd; explore_cmd; tune_cmd; compile_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/minicuda_demo.ml: Array Gpu Kir List Minicuda Printf Ptx Util

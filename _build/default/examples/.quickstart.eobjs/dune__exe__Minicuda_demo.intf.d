@@ -1,0 +1,1 @@
+examples/minicuda_demo.mli:

@@ -1,0 +1,1 @@
+examples/mri_recon.ml: Apps Array Gpu Kir List Printf Ptx Tuner Util

@@ -1,0 +1,1 @@
+examples/mri_recon.mli:

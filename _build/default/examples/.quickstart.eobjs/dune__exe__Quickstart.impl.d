@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Gpu Kir List Printf Ptx Tuner Util

@@ -1,0 +1,1 @@
+examples/tune_matmul.ml: Apps List Printf Sys Tuner

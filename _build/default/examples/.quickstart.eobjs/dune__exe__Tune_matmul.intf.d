@@ -1,0 +1,1 @@
+examples/tune_matmul.mli:

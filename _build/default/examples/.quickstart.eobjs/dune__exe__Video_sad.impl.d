@@ -1,0 +1,1 @@
+examples/video_sad.ml: Apps Array Float Gpu Hashtbl Kir List Option Printf Ptx Tuner

@@ -1,0 +1,1 @@
+lib/apps/cp.ml: Array Gpu Kir List Printf Ptx String Tuner Util Workload

@@ -1,0 +1,1 @@
+lib/apps/cpu_model.ml:

@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Array Fun Gpu Kir List Printf Ptx String Tuner Util Workload

@@ -1,0 +1,1 @@
+lib/apps/mri_fhd.ml: Array Float Gpu Kir List Printf Ptx String Tuner Util Workload

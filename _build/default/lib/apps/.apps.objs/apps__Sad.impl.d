@@ -1,0 +1,1 @@
+lib/apps/sad.ml: Array Gpu Kir List Printf Ptx String Tuner Util Workload

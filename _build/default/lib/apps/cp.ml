@@ -1,0 +1,215 @@
+(* CP: coulombic potential over a 2-D grid slice (the paper's Figure 5
+   and Figure 6(c); derived from the "Unroll8y" kernel of Stone et al.,
+   accelerating molecular modeling).
+
+   Each thread computes the electric potential at [tiling] grid points:
+     V(p) = sum_j q_j / |p - atom_j|
+   with atom data resident in constant memory and the reciprocal
+   square root on the SFUs.  The kernel's inner loop touches no
+   off-chip memory, so SFU instructions are the long-latency behaviour
+   the Utilization metric regions on (paper section 4).
+
+   Configuration axes (Table 4 row 2: "block size, per-thread tiling,
+   coalescing of output"):
+   - [block]:    threads per block, (16, by) with by in {2,4,8,16};
+   - [tiling]:   results per thread along x, in {1,2,4,8,16}
+                 (Figure 5's x axis);
+   - [coalesce]: output layout — coalesced configurations have each
+                 thread write points strided by the block width, so a
+                 half-warp's stores land in one 64B segment;
+                 uncoalesced ones give each thread [tiling] adjacent
+                 points.
+
+   4*5*2 = 40 raw points; high-tiling configurations whose register
+   demand exceeds what 256-thread blocks can occupy become invalid,
+   leaving a space of about the paper's 38. *)
+
+open Kir.Ast
+
+type config = { block_y : int; tiling : int; coalesce : bool }
+
+let space : config list =
+  List.concat_map
+    (fun block_y ->
+      List.concat_map
+        (fun tiling ->
+          List.map (fun coalesce -> { block_y; tiling; coalesce }) [ true; false ])
+        [ 1; 2; 4; 8; 16 ])
+    [ 2; 4; 8; 16 ]
+
+let block_x = 16
+
+let describe (c : config) =
+  Printf.sprintf "b16x%d/t%d%s" c.block_y c.tiling (if c.coalesce then "/co" else "/unco")
+
+let params (c : config) =
+  [
+    ("block", Printf.sprintf "16x%d" c.block_y);
+    ("tiling", string_of_int c.tiling);
+    ("coalesced", string_of_bool c.coalesce);
+  ]
+
+(* Atom data layout in constant memory: [x; y; z; q] per atom.  The
+   grid slice lies at z = z0 with unit spacing scaled by [1/scale]. *)
+let kernel ~natoms (c : config) : kernel =
+  let t = c.tiling in
+  let sums = List.init t (fun j -> Printf.sprintf "pot%d" j) in
+  (* Point x-coordinates per accumulator.  Coalesced: thread [tid_x]
+     covers x0 + j*16 (strided by the block width, so a half-warp's
+     stores are contiguous).  Uncoalesced: each thread owns [tiling]
+     adjacent points x0 + j. *)
+  let x_off j = if c.coalesce then j * block_x else j in
+  let xs_expr j = v "x0" +: i (x_off j) in
+  let out_index j = (v "row" *: Param "npx") +: (v "x0" +: i (x_off j)) in
+  {
+    kname = "cp_" ^ String.map (function '/' -> '_' | ch -> ch) (describe c);
+    scalar_params = [ ("npx", S32); ("scale", F32); ("z0", F32) ];
+    array_params = [ { aname = "atoms"; aspace = Const }; { aname = "V"; aspace = Global } ];
+    shared_decls = [];
+    local_decls = [];
+    body =
+      [
+        Let ("row", S32, (bid_y *: i c.block_y) +: tid_y);
+        Let ("xbase", S32, bid_x *: i (block_x * t));
+        Let
+          ( "x0",
+            S32,
+            if c.coalesce then v "xbase" +: tid_x else v "xbase" +: (tid_x *: i t) );
+        Let ("py", F32, Un (ToF, v "row") *: Param "scale");
+      ]
+      @ List.concat
+          (List.init t (fun j ->
+               [ Let (Printf.sprintf "px%d" j, F32, Un (ToF, xs_expr j) *: Param "scale") ]))
+      @ List.map (fun s -> Mut (s, F32, f 0.0)) sums
+      @ [
+          for_ "j" (i 0) (i natoms)
+            ([
+               Let ("ax", F32, Ld ("atoms", v "j" *: i 4));
+               Let ("ay", F32, Ld ("atoms", (v "j" *: i 4) +: i 1));
+               Let ("az", F32, Ld ("atoms", (v "j" *: i 4) +: i 2));
+               Let ("aq", F32, Ld ("atoms", (v "j" *: i 4) +: i 3));
+               Let ("dy", F32, v "py" -: v "ay");
+               Let ("dz", F32, Param "z0" -: v "az");
+               Let ("dyz2", F32, (v "dy" *: v "dy") +: (v "dz" *: v "dz"));
+             ]
+            @ List.concat
+                (List.init t (fun j ->
+                     let dx = Printf.sprintf "dx%d" j in
+                     let r2 = Printf.sprintf "r2_%d" j in
+                     [
+                       Let (dx, F32, v (Printf.sprintf "px%d" j) -: v "ax");
+                       Let (r2, F32, (v dx *: v dx) +: v "dyz2");
+                       Assign
+                         ( Printf.sprintf "pot%d" j,
+                           v (Printf.sprintf "pot%d" j) +: (v "aq" *: Un (Rsqrt, v r2)) );
+                     ])));
+        ]
+      @ List.concat
+          (List.init t (fun j ->
+               [ Store ("V", out_index j, v (Printf.sprintf "pot%d" j)) ]));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Host-side problem                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type problem = {
+  npx : int;  (* grid points in x *)
+  npy : int;
+  natoms : int;
+  scale : float;
+  z0 : float;
+  dev : Gpu.Device.t;
+  atoms : Gpu.Device.buffer;
+  out : Gpu.Device.buffer;
+  hatoms : float array;
+}
+
+let default_npx = 2048
+let default_npy = 128
+let default_natoms = 128
+
+let setup ?(npx = default_npx) ?(npy = default_npy) ?(natoms = default_natoms) ?(seed = 13) ()
+    : problem =
+  let dev = Gpu.Device.create ~global_words:(2 * npx * npy) () in
+  let atoms_buf = Gpu.Device.alloc_const dev (4 * natoms) in
+  let out = Gpu.Device.alloc dev (npx * npy) in
+  let scale = Util.Float32.round 0.1 in
+  let hatoms = Workload.atoms ~seed ~n:natoms ~extent:(float_of_int npx *. scale) () in
+  Gpu.Device.to_device dev atoms_buf hatoms;
+  { npx; npy; natoms; scale; z0 = Util.Float32.round 0.5; dev; atoms = atoms_buf; out; hatoms }
+
+let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
+  {
+    Gpu.Sim.kernel = k;
+    grid = (p.npx / (block_x * c.tiling), p.npy / c.block_y);
+    block = (block_x, c.block_y);
+    args =
+      [
+        ("npx", Gpu.Sim.I p.npx);
+        ("scale", Gpu.Sim.F p.scale);
+        ("z0", Gpu.Sim.F p.z0);
+        ("atoms", Gpu.Sim.Buf p.atoms);
+        ("V", Gpu.Sim.Buf p.out);
+      ];
+  }
+
+let candidates ?(npx = default_npx) ?(npy = default_npy) ?(natoms = default_natoms)
+    ?(max_blocks = 8) () : Tuner.Candidate.t list =
+  let p = setup ~npx ~npy ~natoms () in
+  List.map
+    (fun cfg ->
+      let kir = kernel ~natoms cfg in
+      let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
+      let run () =
+        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) p.dev (launch_of p cfg ptx)).time_s
+      in
+      Tuner.Candidate.make ~desc:(describe cfg) ~params:(params cfg) ~kernel:ptx
+        ~threads_per_block:(block_x * cfg.block_y)
+        ~threads_total:(npx / cfg.tiling * npy)
+        ~run ())
+    space
+
+(* Single-thread CPU reference: the same math with sqrt+divide (the SFU
+   rsqrt shortcut is a GPU feature). *)
+let cpu_reference (p : problem) : float array =
+  let out = Array.make (p.npx * p.npy) 0.0 in
+  for row = 0 to p.npy - 1 do
+    for x = 0 to p.npx - 1 do
+      let py = Util.Float32.mul (Util.Float32.of_int row) p.scale in
+      let px = Util.Float32.mul (Util.Float32.of_int x) p.scale in
+      let s = ref 0.0 in
+      for j = 0 to p.natoms - 1 do
+        let ax = p.hatoms.(4 * j) in
+        let ay = p.hatoms.((4 * j) + 1) in
+        let az = p.hatoms.((4 * j) + 2) in
+        let aq = p.hatoms.((4 * j) + 3) in
+        let dx = Util.Float32.sub px ax in
+        let dy = Util.Float32.sub py ay in
+        let dz = Util.Float32.sub p.z0 az in
+        let r2 =
+          Util.Float32.add
+            (Util.Float32.mul dx dx)
+            (Util.Float32.add (Util.Float32.mul dy dy) (Util.Float32.mul dz dz))
+        in
+        s := Util.Float32.add !s (Util.Float32.mul aq (Util.Float32.rsqrt r2))
+      done;
+      out.((row * p.npx) + x) <- !s
+    done
+  done;
+  out
+
+let validate ?(npx = 256) ?(npy = 16) ?(natoms = 32) (cfg : config) : bool =
+  let p = setup ~npx ~npy ~natoms () in
+  let ptx = Ptx.Opt.run (Kir.Lower.lower (kernel ~natoms cfg)) in
+  ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev (launch_of p cfg ptx));
+  let got = Gpu.Device.of_device p.dev p.out in
+  let want = cpu_reference p in
+  let ok = ref true in
+  Array.iteri
+    (fun idx g -> if not (Util.Float32.close ~rtol:1e-3 ~atol:1e-3 g want.(idx)) then ok := false)
+    got;
+  !ok
+
+(* Pairwise interactions for Table 3 accounting. *)
+let interactions (p : problem) = float_of_int (p.npx * p.npy * p.natoms)

@@ -1,0 +1,209 @@
+(* Dense matrix multiplication — the paper's running example
+   (Figure 2 kernels, Figure 3 performance, Figure 6(a), Table 4).
+
+   Configuration axes (Table 4 row 1: "tile/block size, rectangular
+   tile dimension, unroll factor, prefetching, register spilling"):
+
+   - [tile]:     8 or 16 — the square output tile computed by a block
+                 (block = tile x tile threads, Figure 2(a));
+   - [rect]:     1, 2 or 4 — rectangular thread-level tiling: each
+                 thread computes [rect] output elements, consuming
+                 [rect] B-tiles per A-tile (Figure 2(b));
+   - [unroll]:   1, 2, 4 or 0 (= complete) on the inner k-loop
+                 (Figure 2(c));
+   - [prefetch]: software-pipeline the tile loop's global loads
+                 (Figure 2(d));
+   - [spill]:    proactively spill one accumulator to local memory.
+
+   2*3*4*2*2 = 96 raw points; configurations whose register demand
+   leaves no room for a single block are invalid executables, exactly
+   as in the paper's Figure 3 (prefetch at the highest register
+   pressure point). *)
+
+open Kir.Ast
+
+type config = { tile : int; rect : int; unroll : int; prefetch : bool; spill : bool }
+
+let space : config list =
+  List.concat_map
+    (fun tile ->
+      List.concat_map
+        (fun rect ->
+          List.concat_map
+            (fun unroll ->
+              List.concat_map
+                (fun prefetch ->
+                  List.map (fun spill -> { tile; rect; unroll; prefetch; spill }) [ false; true ])
+                [ false; true ])
+            [ 1; 2; 4; 0 ])
+        [ 1; 2; 4 ])
+    [ 8; 16 ]
+
+let describe (c : config) =
+  Printf.sprintf "%dx%d/1x%d/u%s%s%s" c.tile c.tile c.rect
+    (if c.unroll = 0 then "C" else string_of_int c.unroll)
+    (if c.prefetch then "/pf" else "")
+    (if c.spill then "/sp" else "")
+
+let params (c : config) =
+  [
+    ("tile", Printf.sprintf "%dx%d" c.tile c.tile);
+    ("rect", Printf.sprintf "1x%d" c.rect);
+    ("unroll", if c.unroll = 0 then "complete" else string_of_int c.unroll);
+    ("prefetch", string_of_bool c.prefetch);
+    ("spill", string_of_bool c.spill);
+  ]
+
+(* The baseline KIR kernel for a (tile, rect) shape: block (tile x
+   tile); each thread accumulates [rect] outputs whose columns are
+   [col + r*tile].  Shared tiles: As[tile][tile], Bs[tile][tile*rect]. *)
+let kernel ~n (c : config) : kernel =
+  let t = c.tile and r = c.rect in
+  let sums = List.init r (fun j -> Printf.sprintf "sum%d" j) in
+  let base =
+    {
+      kname = "mm_" ^ String.map (function '/' -> '_' | ch -> ch) (describe c);
+      scalar_params = [];
+      array_params =
+        [
+          { aname = "A"; aspace = Global };
+          { aname = "B"; aspace = Global };
+          { aname = "C"; aspace = Global };
+        ];
+      shared_decls = [ ("As", t * t); ("Bs", t * t * r) ];
+      local_decls = [];
+      body =
+        [ Let ("row", S32, (bid_y *: i t) +: tid_y); Let ("col0", S32, (bid_x *: i (t * r)) +: tid_x) ]
+        @ List.map (fun s -> Mut (s, F32, f 0.0)) sums
+        @ [
+            for_ "tb" (i 0) (i (n / t))
+              ((* cooperative loads: one A element, [rect] B elements *)
+               Let ("a", F32, Ld ("A", (v "row" *: i n) +: ((v "tb" *: i t) +: tid_x))
+               )
+               :: List.concat
+                    (List.init r (fun j ->
+                         [
+                           Let
+                             ( Printf.sprintf "b%d" j,
+                               F32,
+                               Ld
+                                 ( "B",
+                                   ((v "tb" *: i t) +: tid_y) *: i n
+                                   +: (v "col0" +: i (j * t)) ) );
+                         ]))
+               @ [ Store ("As", (tid_y *: i t) +: tid_x, v "a") ]
+               @ List.init r (fun j ->
+                     Store
+                       ( "Bs",
+                         (tid_y *: i (t * r)) +: (tid_x +: i (j * t)),
+                         v (Printf.sprintf "b%d" j) ))
+               @ [
+                   Sync;
+                   for_ "k" (i 0) (i t)
+                     (Let ("av", F32, Ld ("As", (tid_y *: i t) +: v "k"))
+                     :: List.map
+                          (fun j ->
+                            Assign
+                              ( Printf.sprintf "sum%d" j,
+                                v (Printf.sprintf "sum%d" j)
+                                +: (v "av"
+                                   *: Ld ("Bs", (v "k" *: i (t * r)) +: (tid_x +: i (j * t)))) ))
+                          (List.init r Fun.id));
+                   Sync;
+                 ]);
+          ]
+        @ List.init r (fun j ->
+              Store
+                ( "C",
+                  (v "row" *: i n) +: (v "col0" +: i (j * t)),
+                  v (Printf.sprintf "sum%d" j) ));
+    }
+  in
+  (* Apply the optimization configuration as real passes. *)
+  let k = base in
+  let k = if c.unroll <> 1 then Kir.Unroll.apply ~select:(String.equal "k") ~factor:c.unroll k else k in
+  let k = if c.prefetch then fst (Kir.Prefetch.apply k) else k in
+  let k = if c.spill then Kir.Spill.apply ~vars:[ "sum0" ] k else k in
+  k
+
+(* ------------------------------------------------------------------ *)
+(* Host-side problem                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type problem = {
+  n : int;
+  dev : Gpu.Device.t;
+  a : Gpu.Device.buffer;
+  b : Gpu.Device.buffer;
+  c : Gpu.Device.buffer;
+  ha : float array;
+  hb : float array;
+}
+
+let default_n = 512
+
+let setup ?(n = default_n) ?(seed = 11) () : problem =
+  let dev = Gpu.Device.create ~global_words:(4 * n * n) () in
+  let a = Gpu.Device.alloc dev (n * n) in
+  let b = Gpu.Device.alloc dev (n * n) in
+  let c = Gpu.Device.alloc dev (n * n) in
+  let ha = Workload.matrix ~seed n in
+  let hb = Workload.matrix ~seed:(seed + 1) n in
+  Gpu.Device.to_device dev a ha;
+  Gpu.Device.to_device dev b hb;
+  { n; dev; a; b; c; ha; hb }
+
+let launch_of (p : problem) (cfg : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
+  {
+    Gpu.Sim.kernel = k;
+    grid = (p.n / (cfg.tile * cfg.rect), p.n / cfg.tile);
+    block = (cfg.tile, cfg.tile);
+    args = [ ("A", Gpu.Sim.Buf p.a); ("B", Gpu.Sim.Buf p.b); ("C", Gpu.Sim.Buf p.c) ];
+  }
+
+(* Build the full candidate list for the tuner: compile every
+   configuration, characterize it statically, and provide a simulated
+   measurement thunk. *)
+let candidates ?(n = default_n) ?(max_blocks = 12) () : Tuner.Candidate.t list =
+  let p = setup ~n () in
+  List.map
+    (fun cfg ->
+      let kir = kernel ~n cfg in
+      let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
+      let run () =
+        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) p.dev (launch_of p cfg ptx)).time_s
+      in
+      Tuner.Candidate.make ~desc:(describe cfg) ~params:(params cfg) ~kernel:ptx
+        ~threads_per_block:(cfg.tile * cfg.tile)
+        ~threads_total:(n / cfg.rect * n)
+        ~run ())
+    space
+
+(* Single-thread CPU reference (binary32 semantics, same accumulation
+   order as the kernel: k-major). *)
+let cpu_reference ~n (ha : float array) (hb : float array) : float array =
+  let out = Array.make (n * n) 0.0 in
+  for row = 0 to n - 1 do
+    for col = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := Util.Float32.mad ha.((row * n) + k) hb.((k * n) + col) !s
+      done;
+      out.((row * n) + col) <- !s
+    done
+  done;
+  out
+
+(* Functional validation of one configuration against the reference. *)
+let validate ?(n = 64) (cfg : config) : bool =
+  let p = setup ~n () in
+  let ptx = Ptx.Opt.run (Kir.Lower.lower (kernel ~n cfg)) in
+  ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev (launch_of p cfg ptx));
+  let got = Gpu.Device.of_device p.dev p.c in
+  let want = cpu_reference ~n p.ha p.hb in
+  let ok = ref true in
+  Array.iteri (fun idx g -> if not (Util.Float32.close g want.(idx)) then ok := false) got;
+  !ok
+
+(* Useful work for Table 3: 2*N^3 flops. *)
+let flops ~n = 2.0 *. (float_of_int n ** 3.0)

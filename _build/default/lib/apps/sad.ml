@@ -1,0 +1,277 @@
+(* SAD: sums of absolute differences for MPEG motion estimation (the
+   paper's Figure 4 full-space exploration and Figure 6(d)).
+
+   For every 4x4 pixel macroblock of the current frame and every
+   candidate motion vector in a square search window of the reference
+   frame, compute
+     sad(mb, v) = sum over 16 pixels |cur(p) - ref(p + v)|.
+
+   Organization: one thread block per macroblock; its threads cover the
+   candidate vectors, [tiling] vectors per thread.  Following the
+   paper's blanket rule ("use of shared memory and caches to improve
+   data locality for reused values ... we apply this optimization
+   unconditionally", section 3.1), both the macroblock's 16
+   current-frame pixels and the (mb + 2*sr)^2 reference search window
+   are staged in shared memory; the remaining global traffic (window
+   staging + result stores) is modest, which still leaves SAD the least
+   GPU-friendly of the four applications (Table 3: 5.51x over the
+   optimized scalar CPU baseline).
+
+   Configuration axes (Table 4 row 3: "per-thread tiling, unroll factor
+   (3 loops), work per block"):
+   - [tpb]:    threads per block in {32, 64, ..., 384} — the work per
+               block axis and Figure 4's x axis;
+   - [tiling]: candidate vectors per thread in {1, 2, 4};
+   - [u_vec]:  unroll of the per-thread vector loop (factors <= tiling);
+   - [u_py], [u_px]: unroll of the two 4-iteration pixel loops, in
+               {1, 2, 4} each.
+
+   The raw cross product (with u_vec <= tiling) has 12*6*9 = 648
+   points; configurations whose threads exceed the candidate count or
+   whose resources do not fit are invalid. *)
+
+open Kir.Ast
+
+type config = { tpb : int; tiling : int; u_vec : int; u_py : int; u_px : int }
+
+let space : config list =
+  List.concat_map
+    (fun tpb ->
+      List.concat_map
+        (fun tiling ->
+          List.concat_map
+            (fun u_vec ->
+              if u_vec > tiling then []
+              else
+                List.concat_map
+                  (fun u_py ->
+                    List.map (fun u_px -> { tpb; tiling; u_vec; u_py; u_px }) [ 1; 2; 4 ])
+                  [ 1; 2; 4 ])
+            [ 1; 2; 4 ])
+        [ 1; 2; 4 ])
+    [ 32; 64; 96; 128; 160; 192; 224; 256; 288; 320; 352; 384 ]
+
+let describe (c : config) =
+  Printf.sprintf "tpb%d/t%d/uv%d/uy%d/ux%d" c.tpb c.tiling c.u_vec c.u_py c.u_px
+
+let params (c : config) =
+  [
+    ("threads/block", string_of_int c.tpb);
+    ("tiling", string_of_int c.tiling);
+    ("unroll vec", string_of_int c.u_vec);
+    ("unroll py", string_of_int c.u_py);
+    ("unroll px", string_of_int c.u_px);
+  ]
+
+(* Search geometry: vectors dx, dy in [-sr, sr), i.e. (2*sr)^2
+   candidates per macroblock. *)
+let mb = 4
+
+(* Generate the kernel for frame dimensions (w, h) and search radius
+   [sr].  Grid: (number of macroblocks, chunks of candidate vectors).
+   Block: [tpb] threads in x. *)
+let kernel ~w ~h ~sr (c : config) : kernel =
+  let side = 2 * sr in
+  let nvec = side * side in
+  let mbx = w / mb in
+  let win = mb + (2 * sr) in
+  (* window side: candidate origins span [c-sr, c+sr), plus mb pixels *)
+  let base =
+    {
+      kname = "sad_" ^ String.map (function '/' -> '_' | ch -> ch) (describe c);
+      scalar_params = [];
+      array_params =
+        [
+          { aname = "cur"; aspace = Global };
+          { aname = "reff"; aspace = Global };
+          { aname = "sads"; aspace = Global };
+        ];
+      shared_decls = [ ("curs", mb * mb); ("wins", win * win) ];
+      local_decls = [];
+      body =
+        [
+          (* Macroblock coordinates from the x grid index. *)
+          Let ("mbx", S32, Bin (Rem, bid_x, i mbx));
+          Let ("mby", S32, bid_x /: i mbx);
+          Let ("cx", S32, v "mbx" *: i mb);
+          Let ("cy", S32, v "mby" *: i mb);
+          (* Stage the current macroblock in shared memory. *)
+          If
+            ( tid_x <: i (mb * mb),
+              [
+                Store
+                  ( "curs",
+                    tid_x,
+                    Ld ("cur", ((v "cy" +: (tid_x /: i mb)) *: i w) +: (v "cx" +: Bin (Rem, tid_x, i mb))) );
+              ],
+              [] );
+          (* Stage the reference search window cooperatively.  Border
+             positions clamp into the frame; consumers never index the
+             out-of-frame cells (their own coordinates are clamped the
+             same way). *)
+          For
+            {
+              var = "s";
+              lo = tid_x;
+              hi = i (win * win);
+              step = i c.tpb;
+              trip = Some (Util.Stats.cdiv (win * win) c.tpb);
+              body =
+                [
+                  Let ("wy", S32, v "s" /: i win);
+                  Let ("wx", S32, Bin (Rem, v "s", i win));
+                  Let ("gy", S32, Bin (Max, i 0, Bin (Min, (v "cy" -: i sr) +: v "wy", i (h - 1))));
+                  Let ("gx", S32, Bin (Max, i 0, Bin (Min, (v "cx" -: i sr) +: v "wx", i (w - 1))));
+                  Store ("wins", (v "wy" *: i win) +: v "wx", Ld ("reff", (v "gy" *: i w) +: v "gx"));
+                ];
+            };
+          Sync;
+          (* First candidate vector index handled by this thread. *)
+          Let ("v0", S32, ((bid_y *: i c.tpb) +: tid_x) *: i c.tiling);
+          If (v "v0" >=: i nvec, [ Return ], []);
+          for_ "t" (i 0) (i c.tiling)
+            [
+              Let ("vidx", S32, v "v0" +: v "t");
+              Let ("dx", S32, Bin (Rem, v "vidx", i side) -: i sr);
+              Let ("dy", S32, (v "vidx" /: i side) -: i sr);
+              (* Clamp the candidate origin against the frame borders,
+                 then rebase into window coordinates. *)
+              Let ("rx", S32, Bin (Max, i 0, Bin (Min, v "cx" +: v "dx", i (w - mb))) -: (v "cx" -: i sr));
+              Let ("ry", S32, Bin (Max, i 0, Bin (Min, v "cy" +: v "dy", i (h - mb))) -: (v "cy" -: i sr));
+              Mut ("acc", F32, f 0.0);
+              for_ "py" (i 0) (i mb)
+                [
+                  for_ "px" (i 0) (i mb)
+                    [
+                      Let ("cv", F32, Ld ("curs", (v "py" *: i mb) +: v "px"));
+                      Let
+                        ( "rv",
+                          F32,
+                          Ld ("wins", ((v "ry" +: v "py") *: i win) +: (v "rx" +: v "px")) );
+                      Assign ("acc", v "acc" +: Un (Abs, v "cv" -: v "rv"));
+                    ];
+                ];
+              Store ("sads", (bid_x *: i nvec) +: v "vidx", v "acc");
+            ];
+        ];
+    }
+  in
+  let k = base in
+  let k =
+    if c.u_px <> 1 then Kir.Unroll.apply ~select:(fun s -> String.length s >= 2 && String.sub s 0 2 = "px") ~factor:c.u_px k
+    else k
+  in
+  let k =
+    if c.u_py <> 1 then Kir.Unroll.apply ~select:(fun s -> String.length s >= 2 && String.sub s 0 2 = "py") ~factor:c.u_py k
+    else k
+  in
+  let k =
+    if c.u_vec <> 1 then Kir.Unroll.apply ~select:(String.equal "t") ~factor:c.u_vec k else k
+  in
+  k
+
+(* ------------------------------------------------------------------ *)
+(* Host-side problem                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type problem = {
+  w : int;
+  h : int;
+  sr : int;
+  dev : Gpu.Device.t;
+  cur : Gpu.Device.buffer;
+  reff : Gpu.Device.buffer;
+  sads : Gpu.Device.buffer;
+  hcur : float array;
+  href : float array;
+}
+
+(* QCIF frames, as in the paper; reduced search radius keeps full-space
+   simulation tractable (the paper likewise used smaller-than-typical
+   inputs). *)
+let default_w = 176
+let default_h = 144
+let default_sr = 8
+
+let setup ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?(seed = 17) () : problem =
+  let mbs = w / mb * (h / mb) in
+  let nvec = 4 * sr * sr in
+  let dev = Gpu.Device.create ~global_words:((2 * w * h) + (mbs * nvec)) () in
+  let cur = Gpu.Device.alloc dev (w * h) in
+  let reff = Gpu.Device.alloc dev (w * h) in
+  let sads = Gpu.Device.alloc dev (mbs * nvec) in
+  let hcur = Workload.frame ~seed ~width:w ~height:h ~shift_x:0 ~shift_y:0 () in
+  let href = Workload.frame ~seed ~width:w ~height:h ~shift_x:3 ~shift_y:(-2) () in
+  Gpu.Device.to_device dev cur hcur;
+  Gpu.Device.to_device dev reff href;
+  { w; h; sr; dev; cur; reff; sads; hcur; href }
+
+let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
+  let mbs = p.w / mb * (p.h / mb) in
+  let nvec = 4 * p.sr * p.sr in
+  let chunks = Util.Stats.cdiv nvec (c.tpb * c.tiling) in
+  {
+    Gpu.Sim.kernel = k;
+    grid = (mbs, chunks);
+    block = (c.tpb, 1);
+    args =
+      [ ("cur", Gpu.Sim.Buf p.cur); ("reff", Gpu.Sim.Buf p.reff); ("sads", Gpu.Sim.Buf p.sads) ];
+  }
+
+let candidates ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?(max_blocks = 8) () :
+    Tuner.Candidate.t list =
+  let p = setup ~w ~h ~sr () in
+  let nvec = 4 * sr * sr in
+  List.map
+    (fun cfg ->
+      let kir = kernel ~w ~h ~sr cfg in
+      let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
+      let run () =
+        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) p.dev (launch_of p cfg ptx)).time_s
+      in
+      let mbs = w / mb * (h / mb) in
+      let chunks = Util.Stats.cdiv nvec (cfg.tpb * cfg.tiling) in
+      Tuner.Candidate.make ~desc:(describe cfg) ~params:(params cfg) ~kernel:ptx
+        ~threads_per_block:cfg.tpb
+        ~threads_total:(mbs * chunks * cfg.tpb)
+        ~run ())
+    space
+
+(* Single-thread CPU reference. *)
+let cpu_reference (p : problem) : float array =
+  let mbx = p.w / mb and mby = p.h / mb in
+  let side = 2 * p.sr in
+  let nvec = side * side in
+  let out = Array.make (mbx * mby * nvec) 0.0 in
+  for bi = 0 to (mbx * mby) - 1 do
+    let cx = bi mod mbx * mb and cy = bi / mbx * mb in
+    for vi = 0 to nvec - 1 do
+      let dx = (vi mod side) - p.sr and dy = (vi / side) - p.sr in
+      let rx = max 0 (min (cx + dx) (p.w - mb)) in
+      let ry = max 0 (min (cy + dy) (p.h - mb)) in
+      let acc = ref 0.0 in
+      for py = 0 to mb - 1 do
+        for px = 0 to mb - 1 do
+          let cv = p.hcur.(((cy + py) * p.w) + cx + px) in
+          let rv = p.href.(((ry + py) * p.w) + rx + px) in
+          acc := Util.Float32.add !acc (Util.Float32.abs (Util.Float32.sub cv rv))
+        done
+      done;
+      out.((bi * nvec) + vi) <- !acc
+    done
+  done;
+  out
+
+let validate ?(w = 32) ?(h = 16) ?(sr = 4) (cfg : config) : bool =
+  let p = setup ~w ~h ~sr () in
+  let ptx = Ptx.Opt.run (Kir.Lower.lower (kernel ~w ~h ~sr cfg)) in
+  ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev (launch_of p cfg ptx));
+  let got = Gpu.Device.of_device p.dev p.sads in
+  let want = cpu_reference p in
+  let ok = ref true in
+  Array.iteri (fun idx g -> if not (Util.Float32.close g want.(idx)) then ok := false) got;
+  !ok
+
+(* Pixel-difference operations for Table 3 accounting. *)
+let absdiff_ops (p : problem) =
+  float_of_int (p.w / mb * (p.h / mb) * 4 * p.sr * p.sr * mb * mb)

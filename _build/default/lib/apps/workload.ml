@@ -1,0 +1,83 @@
+(* Synthetic workload generation.
+
+   The paper's inputs (dense matrices, QCIF video frames, molecular
+   atom sets, non-Cartesian MRI scan trajectories) are replaced by
+   seeded synthetic data with the same shapes and value ranges; see
+   DESIGN.md section 2 for the substitution rationale.  All generators
+   round values through binary32 so device data is exactly
+   representable. *)
+
+let f32 = Util.Float32.round
+
+(* Uniform random matrix in [-1, 1), row-major n x n. *)
+let matrix ?(seed = 1) n : float array =
+  let rng = Util.Rng.create seed in
+  Array.init (n * n) (fun _ -> f32 (Util.Rng.float_range rng (-1.0) 1.0))
+
+(* A grayscale "video frame": smooth low-frequency pattern plus noise,
+   values in [0, 255].  Two consecutive frames are related by a global
+   motion offset so SAD search has realistic structure. *)
+let frame ?(seed = 2) ~width ~height ~(shift_x : int) ~(shift_y : int) () : float array =
+  let rng = Util.Rng.create seed in
+  let phase1 = Util.Rng.float_range rng 0.0 6.28 in
+  let phase2 = Util.Rng.float_range rng 0.0 6.28 in
+  (* Texture detail must move *with* the content: derive it from world
+     coordinates through a one-shot hash so a shifted frame shows the
+     same (shifted) detail and motion search has a true optimum. *)
+  let detail x y =
+    let h = Util.Rng.create ((x * 73856093) lxor (y * 19349663) lxor seed) in
+    Util.Rng.float_range h (-25.0) 25.0
+  in
+  Array.init (width * height) (fun i ->
+      let x = (i mod width) + shift_x and y = (i / width) + shift_y in
+      let fx = float_of_int x and fy = float_of_int y in
+      let base =
+        128.0
+        +. (60.0 *. sin ((fx /. 17.0) +. phase1) *. cos ((fy /. 23.0) +. phase2))
+        +. (40.0 *. sin ((fx +. fy) /. 31.0))
+      in
+      f32 (Float.max 0.0 (Float.min 255.0 (base +. detail x y))))
+
+(* Atoms for the coulombic-potential kernel: positions within the
+   volume, charges in [-2, 2].  Layout: [x; y; z; q] per atom. *)
+let atoms ?(seed = 3) ~n ~(extent : float) () : float array =
+  let rng = Util.Rng.create seed in
+  let a = Array.make (4 * n) 0.0 in
+  for j = 0 to n - 1 do
+    a.((4 * j) + 0) <- f32 (Util.Rng.float_range rng 0.0 extent);
+    a.((4 * j) + 1) <- f32 (Util.Rng.float_range rng 0.0 extent);
+    a.((4 * j) + 2) <- f32 (Util.Rng.float_range rng 0.0 2.0);
+    a.((4 * j) + 3) <- f32 (Util.Rng.float_range rng (-2.0) 2.0)
+  done;
+  a
+
+(* Non-Cartesian k-space samples for MRI-FHD: trajectory coordinates
+   (spiral-like) and complex sample values.  Layout: [kx; ky; kz; re;
+   im] per sample. *)
+let mri_samples ?(seed = 4) ~n () : float array =
+  let rng = Util.Rng.create seed in
+  let a = Array.make (5 * n) 0.0 in
+  for j = 0 to n - 1 do
+    let t = float_of_int j /. float_of_int n in
+    let r = t *. 0.5 in
+    let th = 20.0 *. 6.28318 *. t in
+    a.((5 * j) + 0) <- f32 (r *. cos th);
+    a.((5 * j) + 1) <- f32 (r *. sin th);
+    a.((5 * j) + 2) <- f32 (0.1 *. t);
+    a.((5 * j) + 3) <- f32 (Util.Rng.gaussian rng);
+    a.((5 * j) + 4) <- f32 (Util.Rng.gaussian rng)
+  done;
+  a
+
+(* Voxel coordinates for MRI-FHD: a regular grid flattened to three
+   arrays of length [n]. *)
+let mri_voxels ~n : float array * float array * float array =
+  let side = int_of_float (Float.ceil (Float.cbrt (float_of_int n))) in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 and zs = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let x = i mod side and y = i / side mod side and z = i / (side * side) in
+    xs.(i) <- f32 (float_of_int x /. float_of_int side);
+    ys.(i) <- f32 (float_of_int y /. float_of_int side);
+    zs.(i) <- f32 (float_of_int z /. float_of_int side)
+  done;
+  (xs, ys, zs)

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Candidate Float Gpu List

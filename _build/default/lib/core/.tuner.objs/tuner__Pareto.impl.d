@@ -1,0 +1,1 @@
+lib/core/pareto.ml: Array Float Fun List

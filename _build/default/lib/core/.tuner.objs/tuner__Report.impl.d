@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Candidate Float List Metrics Printf Search String Util

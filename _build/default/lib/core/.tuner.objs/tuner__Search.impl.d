@@ -1,0 +1,1 @@
+lib/core/search.ml: Candidate Hashtbl List Metrics Pareto String Util

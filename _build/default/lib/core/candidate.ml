@@ -1,0 +1,61 @@
+(* An optimization configuration, compiled and characterized.
+
+   This is the unit the paper's methodology manipulates: one point of
+   the optimization space, together with everything the static pipeline
+   can know about it — the compiled PTX, its `-cubin`-style resource
+   usage, its statically estimated execution profile, and its occupancy.
+   Measuring its actual (simulated) runtime is deliberately a thunk:
+   the whole point of the paper is to avoid calling it for most
+   configurations. *)
+
+type t = {
+  desc : string;  (* short human-readable description, e.g. "16x16/1x4/u4/pf" *)
+  params : (string * string) list;  (* axis name -> value, for reports *)
+  kernel : Ptx.Prog.t;  (* optimized PTX *)
+  threads_per_block : int;
+  threads_total : int;  (* the metric's Threads term *)
+  profile : Ptx.Count.profile;
+  resource : Ptx.Resource.t;
+  occupancy : Gpu.Arch.occupancy;
+  valid : bool;  (* compiles and at least one block fits an SM *)
+  invalid_reason : string option;
+  run : unit -> float;  (* simulated execution time, seconds (expensive) *)
+}
+
+(* Characterize a compiled kernel; [run] must produce the simulated
+   wall-clock the paper would obtain from a real execution. *)
+let make ~desc ~params ~kernel ~threads_per_block ~threads_total ~run () : t =
+  let resource = Ptx.Resource.of_kernel kernel in
+  let profile = Ptx.Count.profile_of kernel in
+  let occupancy =
+    Gpu.Arch.occupancy ~threads_per_block ~regs_per_thread:resource.regs_per_thread
+      ~smem_per_block:resource.smem_bytes_per_block ()
+  in
+  let valid, invalid_reason =
+    if threads_per_block > Gpu.Arch.g80.max_threads_per_block then
+      (false, Some "block exceeds 512 threads")
+    else if resource.smem_bytes_per_block > Gpu.Arch.g80.smem_per_sm then
+      (false, Some "shared memory exceeds 16KB")
+    else if not (Gpu.Arch.is_valid occupancy) then
+      (false, Some (Printf.sprintf "invalid executable: 0 blocks fit (%s)" occupancy.limiter))
+    else (true, None)
+  in
+  {
+    desc;
+    params;
+    kernel;
+    threads_per_block;
+    threads_total;
+    profile;
+    resource;
+    occupancy;
+    valid;
+    invalid_reason;
+    run;
+  }
+
+let pp fmt (c : t) =
+  Format.fprintf fmt "%s [regs=%d smem=%dB B_SM=%d instr=%.0f regions=%.0f]%s" c.desc
+    c.resource.regs_per_thread c.resource.smem_bytes_per_block c.occupancy.blocks_per_sm
+    c.profile.instr c.profile.regions
+    (if c.valid then "" else " INVALID")

@@ -1,0 +1,1 @@
+lib/gpu/sim.ml: Arch Array Device Float Hashtbl Instr List Printf Prog Ptx Reg Util

@@ -1,0 +1,203 @@
+(* The GeForce 8800 GTX machine description.
+
+   Encodes Table 1 (memories), Table 2 (resource constraints) and the
+   microarchitectural parameters of section 2.1 of the paper, plus the
+   occupancy calculation that the paper performs from `-cubin` output
+   (worked example in section 2.2: 256 threads/block, 10 regs/thread,
+   4KB smem/block -> 3 blocks/SM; raising to 11 regs -> 2 blocks/SM). *)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: constraints of GeForce 8800 and CUDA                       *)
+(* ------------------------------------------------------------------ *)
+
+type limits = {
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  regs_per_sm : int;  (* 32-bit registers *)
+  smem_per_sm : int;  (* bytes *)
+  max_threads_per_block : int;
+  warp_size : int;
+  num_sms : int;
+  sps_per_sm : int;
+  sfus_per_sm : int;
+}
+
+let g80 : limits =
+  {
+    max_threads_per_sm = 768;
+    max_blocks_per_sm = 8;
+    regs_per_sm = 8192;
+    smem_per_sm = 16384;
+    max_threads_per_block = 512;
+    warp_size = 32;
+    num_sms = 16;
+    sps_per_sm = 8;
+    sfus_per_sm = 2;
+  }
+
+let clock_ghz = 1.35
+let clock_hz = clock_ghz *. 1e9
+
+(* Peak: 16 SM * 18 FLOP/SM/cycle * 1.35 GHz = 388.8 GFLOPS. *)
+let peak_gflops = float_of_int (g80.num_sms * 18) *. clock_ghz
+
+(* 86.4 GB/s of off-chip bandwidth; per SM per cycle that is
+   86.4e9 / 1.35e9 / 16 = 4 bytes. *)
+let global_bandwidth_gbs = 86.4
+let bytes_per_cycle_per_sm = global_bandwidth_gbs *. 1e9 /. clock_hz /. float_of_int g80.num_sms
+
+(* ------------------------------------------------------------------ *)
+(* Latency model (cycles)                                              *)
+(* ------------------------------------------------------------------ *)
+
+type latencies = {
+  issue : int;  (* cycles a warp occupies the issue pipe: 32 threads / 8 SPs *)
+  sfu_issue : int;  (* SFU ops issue at quarter rate: 32 threads / 2 SFUs / 4 *)
+  alu : int;  (* register RAW latency of SP pipeline *)
+  sfu : int;
+  shared : int;
+  const_hit : int;
+  global : int;  (* Table 1: 200-300 cycles; we use the midpoint *)
+  coalesced_tx : int;  (* channel occupancy of one 64B transaction at 4 B/cycle *)
+  uncoalesced_tx : int;
+      (* channel occupancy of one un-coalesced access: the G80 memory
+         controller issues a full 64B transaction per straggler lane,
+         wasting ~94% of the fetched bytes for a 4B read *)
+}
+
+(* Per-warp scoreboard depth: how many long-latency results (global
+   loads, SFU ops) a warp may have in flight before further issue of
+   such instructions stalls.  The G80 tracked a small fixed number of
+   outstanding operands per warp; this is what makes thread-level
+   parallelism (other warps) necessary once a warp's own instruction-
+   level parallelism exceeds the window — the utilization story of the
+   paper's Figure 5. *)
+let scoreboard_depth = 6
+
+let g80_latencies : latencies =
+  {
+    issue = 4;
+    sfu_issue = 16;
+    alu = 24;
+    sfu = 36;
+    shared = 36;
+    const_hit = 8;
+    global = 250;
+    coalesced_tx = 16;
+    uncoalesced_tx = 16;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: properties of GeForce 8800 memories (for reports)          *)
+(* ------------------------------------------------------------------ *)
+
+type memory_row = {
+  mem_name : string;
+  location : string;
+  size : string;
+  latency : string;
+  read_only : bool;
+  description : string;
+}
+
+let memories : memory_row list =
+  [
+    {
+      mem_name = "Global";
+      location = "off-chip";
+      size = "768MB total";
+      latency = "200-300 cycles";
+      read_only = false;
+      description =
+        "Large DRAM; all data resides here at kernel start; coalesced when a \
+         half-warp accesses contiguous elements";
+    };
+    {
+      mem_name = "Shared";
+      location = "on-chip";
+      size = "16KB per SM";
+      latency = "~register latency";
+      read_only = false;
+      description = "Per-block scratchpad organized into 16 banks";
+    };
+    {
+      mem_name = "Constant";
+      location = "on-chip cache";
+      size = "64KB total";
+      latency = "~register latency";
+      read_only = true;
+      description = "8KB cache per SM; single-ported, broadcast on same address";
+    };
+    {
+      mem_name = "Texture";
+      location = "on-chip cache";
+      size = "up to global";
+      latency = ">100 cycles";
+      read_only = true;
+      description = "16KB cache per two SMs; 2D locality (modeled as cached global)";
+    };
+    {
+      mem_name = "Local";
+      location = "off-chip";
+      size = "up to global";
+      latency = "same as global";
+      read_only = false;
+      description = "Register spilling space";
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type occupancy = {
+  blocks_per_sm : int;  (* the paper's B_SM; 0 means the launch is invalid *)
+  warps_per_block : int;  (* the paper's W_TB *)
+  warps_per_sm : int;
+  threads_per_sm : int;
+  limiter : string;  (* which resource bound B_SM *)
+}
+
+(* B_SM as computed in section 4 of the paper: the maximum number of
+   blocks, up to 8, whose combined threads, registers and shared memory
+   fit the per-SM limits. *)
+let occupancy ?(limits = g80) ~threads_per_block ~regs_per_thread ~smem_per_block () : occupancy
+    =
+  let warps_per_block = Util.Stats.cdiv threads_per_block limits.warp_size in
+  if threads_per_block <= 0 || threads_per_block > limits.max_threads_per_block then
+    {
+      blocks_per_sm = 0;
+      warps_per_block;
+      warps_per_sm = 0;
+      threads_per_sm = 0;
+      limiter = "threads per block";
+    }
+  else begin
+    let by_threads = limits.max_threads_per_sm / threads_per_block in
+    let by_regs =
+      if regs_per_thread <= 0 then limits.max_blocks_per_sm
+      else limits.regs_per_sm / (regs_per_thread * threads_per_block)
+    in
+    let by_smem =
+      if smem_per_block <= 0 then limits.max_blocks_per_sm else limits.smem_per_sm / smem_per_block
+    in
+    let b =
+      List.fold_left min limits.max_blocks_per_sm [ by_threads; by_regs; by_smem ]
+    in
+    let limiter =
+      if b = limits.max_blocks_per_sm then "max blocks"
+      else if b = by_regs && by_regs <= by_threads && by_regs <= by_smem then "registers"
+      else if b = by_smem && by_smem <= by_threads then "shared memory"
+      else "threads"
+    in
+    let b = max b 0 in
+    {
+      blocks_per_sm = b;
+      warps_per_block;
+      warps_per_sm = b * warps_per_block;
+      threads_per_sm = b * threads_per_block;
+      limiter;
+    }
+  end
+
+let is_valid o = o.blocks_per_sm > 0

@@ -1,0 +1,969 @@
+(* Cycle-approximate simulator for the GeForce 8800 SM.
+
+   Models the first-order mechanisms that the paper's optimization
+   space exercises (section 2.1/2.2):
+
+   - warps of 32 threads issuing SIMD over 8 SPs (4 cycles per issue);
+   - zero-overhead warp interleaving: any ready warp from any resident
+     block may issue next; the SM stalls only when no warp is ready;
+   - an in-order per-warp scoreboard: an instruction waits until its
+     source registers' ready-cycles have passed (register RAW latency
+     hides behind other warps or behind independent instructions of the
+     same warp — the ILP that unrolling/prefetching create);
+   - global memory latency plus a per-SM bandwidth channel with
+     half-warp coalescing (contiguous 64B-aligned accesses become one
+     transaction; anything else one transaction per active lane);
+   - shared-memory bank conflicts (16 banks, conflict degree multiplies
+     issue occupancy) and single-ported constant-cache broadcast;
+   - barrier semantics parking warps until all live warps of the block
+     arrive;
+   - block residency limited by occupancy (B_SM), with finished blocks
+     replaced from the pending queue.
+
+   Execution is functional as well as timed: instructions compute real
+   binary32 values against device memory, so the same engine validates
+   kernel outputs and measures performance.  Large grids are simulated
+   for a bounded number of blocks on one representative SM and
+   extrapolated linearly (the paper observes linear scaling in input
+   size). *)
+
+open Ptx
+
+exception Launch_error of string
+
+let launch_error fmt = Printf.ksprintf (fun s -> raise (Launch_error s)) fmt
+
+type arg = I of int | F of float | Buf of Device.buffer
+
+type launch = {
+  kernel : Prog.t;
+  grid : int * int;  (* blocks in x, y *)
+  block : int * int;  (* threads in x, y *)
+  args : (string * arg) list;
+}
+
+type mode =
+  | Functional  (* execute every block; no occupancy requirement *)
+  | Timing of { max_blocks : int }  (* cap simulated blocks on the measured SM *)
+
+type stats = {
+  cycles : float;  (* extrapolated kernel cycles *)
+  time_s : float;  (* cycles / 1.35 GHz *)
+  total_blocks : int;
+  blocks_simulated : int;
+  warp_instrs : int;  (* issued in the simulated portion *)
+  gmem_transactions : int;
+  gmem_bytes : int;
+  bank_conflict_extra : int;  (* extra issue cycles lost to conflicts *)
+  occupancy : Arch.occupancy;
+  regs_per_thread : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compiled kernel form                                                *)
+(* ------------------------------------------------------------------ *)
+
+type cterm =
+  | CJump of int
+  | CBr of { pred : Reg.t; negate : bool; if_true : int; if_false : int; reconv : int }
+  | CRet
+
+type cblock = { body : Instr.t array; cterm : cterm }
+
+type pval = Pint of int | Pflt of float
+
+type ckernel = {
+  blocks : cblock array;
+  nf : int;  (* register-file sizes per class *)
+  nr : int;
+  np : int;
+  params : (string, pval) Hashtbl.t;
+  smem_words : int;
+  lmem_words : int;
+}
+
+let compile_kernel (k : Prog.t) (args : (string * arg) list) : ckernel =
+  let idx = Prog.block_index k in
+  let find l =
+    match Hashtbl.find_opt idx l with
+    | Some i -> i
+    | None -> launch_error "unknown block label %S" l
+  in
+  let blocks =
+    Array.of_list
+      (List.map
+         (fun (b : Prog.block) ->
+           let cterm =
+             match b.term with
+             | Prog.Jump l -> CJump (find l)
+             | Prog.Ret -> CRet
+             | Prog.Br { pred; negate; if_true; if_false; reconv } ->
+               CBr
+                 {
+                   pred;
+                   negate;
+                   if_true = find if_true;
+                   if_false = find if_false;
+                   reconv = find reconv;
+                 }
+           in
+           { body = Array.of_list b.body; cterm })
+         k.blocks)
+  in
+  let nf = ref 0 and nr = ref 0 and np = ref 0 in
+  Reg.Set.iter
+    (fun r ->
+      match Reg.ty r with
+      | Reg.F32 -> nf := max !nf (Reg.idx r + 1)
+      | Reg.S32 -> nr := max !nr (Reg.idx r + 1)
+      | Reg.Pred -> np := max !np (Reg.idx r + 1))
+    (Prog.all_regs k);
+  let params = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Prog.param) ->
+      match List.assoc_opt p.pname args with
+      | None -> launch_error "missing kernel argument %S" p.pname
+      | Some (I i) -> Hashtbl.replace params p.pname (Pint i)
+      | Some (F f) -> Hashtbl.replace params p.pname (Pflt f)
+      | Some (Buf b) -> Hashtbl.replace params p.pname (Pint b.Device.base))
+    k.params;
+  {
+    blocks;
+    nf = !nf;
+    nr = !nr;
+    np = !np;
+    params;
+    smem_words = k.smem_words;
+    lmem_words = k.lmem_words;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Warp and block state                                                *)
+(* ------------------------------------------------------------------ *)
+
+type frame = { mutable bi : int; mutable off : int; rpc : int; mask : int }
+
+type block_st = {
+  cta_x : int;
+  cta_y : int;
+  shared : float array;
+  local : float array;  (* per-thread local memory, thread-major *)
+  mutable arrived : int;  (* warps waiting at the barrier *)
+  mutable live_warps : int;
+  mutable warps : warp list;  (* filled after creation *)
+}
+
+and warp = {
+  wid : int;
+  valid_mask : int;
+  fregs : float array;  (* reg-major: fregs.(r * 32 + lane) *)
+  iregs : int array;
+  pregs : bool array;
+  f_ready : int array;  (* per-register operand ready cycle *)
+  i_ready : int array;
+  p_ready : int array;
+  mutable stack : frame list;
+  mutable exited : int;
+  mutable wake : int;
+  mutable at_barrier : bool;
+  mutable finished : bool;
+  pending : int array;  (* completion cycles of in-flight long-latency ops *)
+  mutable n_pending : int;
+  blk : block_st;
+}
+
+let full_mask = 0xFFFFFFFF
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go (m land full_mask) 0
+
+(* ------------------------------------------------------------------ *)
+(* SM state                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type sm = {
+  mutable issue_free : int;  (* next cycle the issue pipe is free *)
+  mutable mem_free : int;  (* next cycle the memory channel is free *)
+  mutable n_warp_instrs : int;
+  mutable n_tx : int;
+  mutable n_bytes : int;
+  mutable conflict_extra : int;
+}
+
+type ctx = {
+  dev : Device.t;
+  ck : ckernel;
+  lat : Arch.latencies;
+  bdim_x : int;
+  bdim_y : int;
+  gdim_x : int;
+  gdim_y : int;
+  timing : bool;
+  sm : sm;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Operand evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let spec_int ctx (w : warp) lane (s : Instr.special) : int =
+  let lin = (w.wid * 32) + lane in
+  match s with
+  | Instr.Tid_x -> lin mod ctx.bdim_x
+  | Instr.Tid_y -> lin / ctx.bdim_x mod ctx.bdim_y
+  | Instr.Tid_z -> lin / (ctx.bdim_x * ctx.bdim_y)
+  | Instr.Ntid_x -> ctx.bdim_x
+  | Instr.Ntid_y -> ctx.bdim_y
+  | Instr.Ntid_z -> 1
+  | Instr.Ctaid_x -> w.blk.cta_x
+  | Instr.Ctaid_y -> w.blk.cta_y
+  | Instr.Nctaid_x -> ctx.gdim_x
+  | Instr.Nctaid_y -> ctx.gdim_y
+
+let param_int ctx name =
+  match Hashtbl.find_opt ctx.ck.params name with
+  | Some (Pint i) -> i
+  | Some (Pflt _) -> launch_error "parameter %S used in integer context" name
+  | None -> launch_error "unbound parameter %S" name
+
+let param_flt ctx name =
+  match Hashtbl.find_opt ctx.ck.params name with
+  | Some (Pflt f) -> f
+  | Some (Pint i) -> float_of_int i
+  | None -> launch_error "unbound parameter %S" name
+
+let eval_i ctx w lane (o : Instr.operand) : int =
+  match o with
+  | Instr.Reg r ->
+    if Reg.ty r <> Reg.S32 then launch_error "register %s in integer context" (Reg.to_string r);
+    w.iregs.((Reg.idx r * 32) + lane)
+  | Instr.Imm_i i -> i
+  | Instr.Imm_f _ -> launch_error "float immediate in integer context"
+  | Instr.Spec s -> spec_int ctx w lane s
+  | Instr.Par p -> param_int ctx p
+
+let eval_f ctx w lane (o : Instr.operand) : float =
+  match o with
+  | Instr.Reg r ->
+    if Reg.ty r <> Reg.F32 then launch_error "register %s in float context" (Reg.to_string r);
+    w.fregs.((Reg.idx r * 32) + lane)
+  | Instr.Imm_f f -> f
+  | Instr.Imm_i i -> float_of_int i
+  | Instr.Spec s -> float_of_int (spec_int ctx w lane s)
+  | Instr.Par p -> param_flt ctx p
+
+let eval_p _ctx w lane (o : Instr.operand) : bool =
+  match o with
+  | Instr.Reg r ->
+    if Reg.ty r <> Reg.Pred then launch_error "register %s in predicate context" (Reg.to_string r);
+    w.pregs.((Reg.idx r * 32) + lane)
+  | Instr.Imm_i i -> i <> 0
+  | _ -> launch_error "bad operand in predicate context"
+
+(* Ready-cycle of an operand (0 for immediates/params/specials). *)
+let operand_ready (w : warp) (o : Instr.operand) : int =
+  match o with
+  | Instr.Reg r -> (
+    let i = Reg.idx r in
+    match Reg.ty r with
+    | Reg.F32 -> w.f_ready.(i)
+    | Reg.S32 -> w.i_ready.(i)
+    | Reg.Pred -> w.p_ready.(i))
+  | _ -> 0
+
+let set_ready (w : warp) (r : Reg.t) (c : int) =
+  let i = Reg.idx r in
+  match Reg.ty r with
+  | Reg.F32 -> w.f_ready.(i) <- c
+  | Reg.S32 -> w.i_ready.(i) <- c
+  | Reg.Pred -> w.p_ready.(i) <- c
+
+(* ------------------------------------------------------------------ *)
+(* Memory access timing                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Half-warp coalescing, G80 rules: one 64-byte transaction iff the
+   k-th active lane of the half-warp reads the k-th word of a 64-byte
+   aligned segment; otherwise one 32-byte transaction per active lane.
+   Returns (transactions, bytes). *)
+let coalesce (addrs : int array) (mask : int) (half : int) : int * int =
+  let lo = half * 16 in
+  let n_active = ref 0 in
+  let ok = ref true in
+  let seg_base = ref min_int in
+  for l = lo to lo + 15 do
+    if mask land (1 lsl l) <> 0 then begin
+      incr n_active;
+      let expect_base = addrs.(l) - (4 * (l - lo)) in
+      if !seg_base = min_int then seg_base := expect_base
+      else if !seg_base <> expect_base then ok := false
+    end
+  done;
+  if !n_active = 0 then (0, 0)
+  else if !ok && !seg_base land 63 = 0 then (1, 64)
+  else (!n_active, 32 * !n_active)
+
+(* Charge [tx] transactions to the SM memory channel starting no
+   earlier than [c]; returns the cycle the last transaction completes
+   its channel occupancy. *)
+let charge_channel ctx c ~tx ~bytes ~tx_cost =
+  let sm = ctx.sm in
+  sm.n_tx <- sm.n_tx + tx;
+  sm.n_bytes <- sm.n_bytes + bytes;
+  if not ctx.timing then c
+  else begin
+    sm.mem_free <- max sm.mem_free c + (tx * tx_cost);
+    sm.mem_free
+  end
+
+(* Shared-memory conflict degree over a half-warp: the maximum number
+   of *distinct* addresses hitting one of the 16 banks (same-address
+   lanes broadcast). *)
+let bank_conflict_degree (addrs : int array) (mask : int) (half : int) : int =
+  let lo = half * 16 in
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let per_bank = Array.make 16 0 in
+  for l = lo to lo + 15 do
+    if mask land (1 lsl l) <> 0 then begin
+      let a = addrs.(l) in
+      if not (Hashtbl.mem seen a) then begin
+        Hashtbl.replace seen a ();
+        let bank = a lsr 2 land 15 in
+        per_bank.(bank) <- per_bank.(bank) + 1
+      end
+    end
+  done;
+  Array.fold_left max 1 per_bank
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute instruction [ins] for warp [w] with active mask [mask],
+   issuing at cycle [c].  Returns the number of cycles the instruction
+   occupies the issue pipe. *)
+let exec_instr ctx (w : warp) (mask : int) (c : int) (ins : Instr.t) : int =
+  let lat = ctx.lat in
+  let fidx r lane = (Reg.idx r * 32) + lane in
+  let for_lanes f =
+    for lane = 0 to 31 do
+      if mask land (1 lsl lane) <> 0 then f lane
+    done
+  in
+  let write_f d lane v = w.fregs.(fidx d lane) <- v in
+  let write_i d lane v = w.iregs.(fidx d lane) <- v in
+  let write_p d lane v = w.pregs.(fidx d lane) <- v in
+  let alu_done d = set_ready w d (c + lat.alu) in
+  match ins with
+  | Instr.Mov (d, a) ->
+    (match Reg.ty d with
+    | Reg.F32 -> for_lanes (fun l -> write_f d l (eval_f ctx w l a))
+    | Reg.S32 -> for_lanes (fun l -> write_i d l (eval_i ctx w l a))
+    | Reg.Pred -> for_lanes (fun l -> write_p d l (eval_p ctx w l a)));
+    alu_done d;
+    lat.issue
+  | Instr.F2 (op, d, a, b) ->
+    let f =
+      match op with
+      | Instr.FAdd -> Util.Float32.add
+      | Instr.FSub -> Util.Float32.sub
+      | Instr.FMul -> Util.Float32.mul
+      | Instr.FDiv -> Util.Float32.div
+      | Instr.FMin -> Util.Float32.min
+      | Instr.FMax -> Util.Float32.max
+    in
+    for_lanes (fun l -> write_f d l (f (eval_f ctx w l a) (eval_f ctx w l b)));
+    alu_done d;
+    lat.issue
+  | Instr.F1 (op, d, a) ->
+    let f =
+      match op with
+      | Instr.FNeg -> Util.Float32.neg
+      | Instr.FAbs -> Util.Float32.abs
+      | Instr.FSqrt -> Util.Float32.sqrt
+      | Instr.FRsqrt -> Util.Float32.rsqrt
+      | Instr.FRcp -> Util.Float32.rcp
+      | Instr.FSin -> Util.Float32.sin
+      | Instr.FCos -> Util.Float32.cos
+      | Instr.FEx2 -> fun x -> Util.Float32.round (Float.pow 2.0 x)
+      | Instr.FLg2 -> fun x -> Util.Float32.round (Float.log x /. Float.log 2.0)
+    in
+    for_lanes (fun l -> write_f d l (f (eval_f ctx w l a)));
+    if Instr.is_sfu_op op then begin
+      set_ready w d (c + lat.sfu);
+      lat.sfu_issue
+    end
+    else begin
+      alu_done d;
+      lat.issue
+    end
+  | Instr.Fmad (d, a, b, cc) ->
+    for_lanes (fun l ->
+        write_f d l (Util.Float32.mad (eval_f ctx w l a) (eval_f ctx w l b) (eval_f ctx w l cc)));
+    alu_done d;
+    lat.issue
+  | Instr.I2 (op, d, a, b) ->
+    let f =
+      match op with
+      | Instr.IAdd -> ( + )
+      | Instr.ISub -> ( - )
+      | Instr.IMul -> ( * )
+      | Instr.IDiv -> fun a b -> if b = 0 then 0 else a / b
+      | Instr.IRem -> fun a b -> if b = 0 then 0 else a mod b
+      | Instr.IMin -> min
+      | Instr.IMax -> max
+      | Instr.IAnd -> ( land )
+      | Instr.IOr -> ( lor )
+      | Instr.IXor -> ( lxor )
+      | Instr.IShl -> ( lsl )
+      | Instr.IShr -> ( asr )
+    in
+    for_lanes (fun l -> write_i d l (f (eval_i ctx w l a) (eval_i ctx w l b)));
+    alu_done d;
+    lat.issue
+  | Instr.Imad (d, a, b, cc) ->
+    for_lanes (fun l ->
+        write_i d l ((eval_i ctx w l a * eval_i ctx w l b) + eval_i ctx w l cc));
+    alu_done d;
+    lat.issue
+  | Instr.Cvt_f2i (d, a) ->
+    for_lanes (fun l -> write_i d l (int_of_float (eval_f ctx w l a)));
+    alu_done d;
+    lat.issue
+  | Instr.Cvt_i2f (d, a) ->
+    for_lanes (fun l -> write_f d l (Util.Float32.of_int (eval_i ctx w l a)));
+    alu_done d;
+    lat.issue
+  | Instr.Setp (cmp, ty, d, a, b) ->
+    let test c = match cmp with
+      | Instr.CEq -> c = 0
+      | Instr.CNe -> c <> 0
+      | Instr.CLt -> c < 0
+      | Instr.CLe -> c <= 0
+      | Instr.CGt -> c > 0
+      | Instr.CGe -> c >= 0
+    in
+    (match ty with
+    | Reg.F32 ->
+      for_lanes (fun l ->
+          write_p d l (test (Float.compare (eval_f ctx w l a) (eval_f ctx w l b))))
+    | Reg.S32 | Reg.Pred ->
+      for_lanes (fun l -> write_p d l (test (compare (eval_i ctx w l a) (eval_i ctx w l b)))));
+    alu_done d;
+    lat.issue
+  | Instr.Selp (d, a, b, p) ->
+    (match Reg.ty d with
+    | Reg.F32 ->
+      for_lanes (fun l ->
+          write_f d l (if eval_p ctx w l p then eval_f ctx w l a else eval_f ctx w l b))
+    | Reg.S32 ->
+      for_lanes (fun l ->
+          write_i d l (if eval_p ctx w l p then eval_i ctx w l a else eval_i ctx w l b))
+    | Reg.Pred ->
+      for_lanes (fun l ->
+          write_p d l (if eval_p ctx w l p then eval_p ctx w l a else eval_p ctx w l b)));
+    alu_done d;
+    lat.issue
+  | Instr.Pnot (d, a) ->
+    for_lanes (fun l -> write_p d l (not (eval_p ctx w l a)));
+    alu_done d;
+    lat.issue
+  | Instr.P2 (op, d, a, b) ->
+    let f =
+      match op with
+      | Instr.PAnd -> ( && )
+      | Instr.POr -> ( || )
+      | Instr.PXor -> ( <> )
+    in
+    for_lanes (fun l -> write_p d l (f (eval_p ctx w l a) (eval_p ctx w l b)));
+    alu_done d;
+    lat.issue
+  | Instr.Ld (space, d, { base; offset }) ->
+    let addrs = Array.make 32 0 in
+    for_lanes (fun l -> addrs.(l) <- eval_i ctx w l base + offset);
+    (match space with
+    | Instr.Global ->
+      for_lanes (fun l ->
+          let v = Device.read_global ctx.dev addrs.(l) in
+          match Reg.ty d with
+          | Reg.F32 -> w.fregs.(fidx d l) <- v
+          | Reg.S32 -> w.iregs.(fidx d l) <- int_of_float v
+          | Reg.Pred -> w.pregs.(fidx d l) <- v <> 0.0);
+      let tx0, by0 = coalesce addrs mask 0 in
+      let tx1, by1 = coalesce addrs mask 1 in
+      let cost0 = if tx0 = 1 then ctx.lat.coalesced_tx else ctx.lat.uncoalesced_tx in
+      let cost1 = if tx1 = 1 then ctx.lat.coalesced_tx else ctx.lat.uncoalesced_tx in
+      let done0 = charge_channel ctx (c + lat.issue) ~tx:tx0 ~bytes:(if tx0 = 1 then by0 else 64 * tx0) ~tx_cost:cost0 in
+      let done1 = charge_channel ctx done0 ~tx:tx1 ~bytes:(if tx1 = 1 then by1 else 64 * tx1) ~tx_cost:cost1 in
+      set_ready w d (done1 + lat.global);
+      lat.issue
+    | Instr.Shared ->
+      let sh = w.blk.shared in
+      for_lanes (fun l ->
+          let wi = addrs.(l) lsr 2 in
+          if wi < 0 || wi >= Array.length sh then
+            launch_error "shared load out of bounds (addr %d)" addrs.(l);
+          let v = sh.(wi) in
+          match Reg.ty d with
+          | Reg.F32 -> w.fregs.(fidx d l) <- v
+          | Reg.S32 -> w.iregs.(fidx d l) <- int_of_float v
+          | Reg.Pred -> w.pregs.(fidx d l) <- v <> 0.0);
+      let deg = max (bank_conflict_degree addrs mask 0) (bank_conflict_degree addrs mask 1) in
+      ctx.sm.conflict_extra <- ctx.sm.conflict_extra + ((deg - 1) * lat.issue);
+      set_ready w d (c + lat.shared);
+      lat.issue * deg
+    | Instr.Const ->
+      let distinct = Hashtbl.create 8 in
+      for_lanes (fun l ->
+          Hashtbl.replace distinct addrs.(l) ();
+          let v = Device.read_const ctx.dev addrs.(l) in
+          match Reg.ty d with
+          | Reg.F32 -> w.fregs.(fidx d l) <- v
+          | Reg.S32 -> w.iregs.(fidx d l) <- int_of_float v
+          | Reg.Pred -> w.pregs.(fidx d l) <- v <> 0.0);
+      let deg = max 1 (Hashtbl.length distinct) in
+      set_ready w d (c + lat.const_hit);
+      lat.issue * deg
+    | Instr.Local ->
+      (* Local memory is off-chip but laid out interleaved per thread,
+         so hardware coalesces it; model as one 64B tx per half-warp. *)
+      let lm = w.blk.local in
+      for_lanes (fun l ->
+          let tid = (w.wid * 32) + l in
+          let wi = (tid * ctx.ck.lmem_words) + (addrs.(l) lsr 2) in
+          if addrs.(l) lsr 2 >= ctx.ck.lmem_words then
+            launch_error "local load out of bounds (addr %d)" addrs.(l);
+          let v = lm.(wi) in
+          match Reg.ty d with
+          | Reg.F32 -> w.fregs.(fidx d l) <- v
+          | Reg.S32 -> w.iregs.(fidx d l) <- int_of_float v
+          | Reg.Pred -> w.pregs.(fidx d l) <- v <> 0.0);
+      let halves = (if mask land 0xFFFF <> 0 then 1 else 0) + if mask land 0xFFFF0000 <> 0 then 1 else 0 in
+      let done_ =
+        charge_channel ctx (c + lat.issue) ~tx:halves ~bytes:(64 * halves)
+          ~tx_cost:ctx.lat.coalesced_tx
+      in
+      set_ready w d (done_ + lat.global);
+      lat.issue)
+  | Instr.St (space, { base; offset }, v) ->
+    let addrs = Array.make 32 0 in
+    for_lanes (fun l -> addrs.(l) <- eval_i ctx w l base + offset);
+    let value l =
+      match v with
+      | Instr.Reg r when Reg.ty r = Reg.S32 -> float_of_int (eval_i ctx w l v)
+      | Instr.Reg _ | Instr.Imm_f _ -> eval_f ctx w l v
+      | Instr.Imm_i i -> float_of_int i
+      | Instr.Spec s -> float_of_int (spec_int ctx w l s)
+      | Instr.Par p -> param_flt ctx p
+    in
+    (match space with
+    | Instr.Global ->
+      for_lanes (fun l -> Device.write_global ctx.dev addrs.(l) (value l));
+      let tx0, by0 = coalesce addrs mask 0 in
+      let tx1, by1 = coalesce addrs mask 1 in
+      let cost0 = if tx0 = 1 then ctx.lat.coalesced_tx else ctx.lat.uncoalesced_tx in
+      let cost1 = if tx1 = 1 then ctx.lat.coalesced_tx else ctx.lat.uncoalesced_tx in
+      let done0 = charge_channel ctx (c + lat.issue) ~tx:tx0 ~bytes:(if tx0 = 1 then by0 else 64 * tx0) ~tx_cost:cost0 in
+      ignore (charge_channel ctx done0 ~tx:tx1 ~bytes:(if tx1 = 1 then by1 else 64 * tx1) ~tx_cost:cost1);
+      lat.issue
+    | Instr.Shared ->
+      let sh = w.blk.shared in
+      for_lanes (fun l ->
+          let wi = addrs.(l) lsr 2 in
+          if wi < 0 || wi >= Array.length sh then
+            launch_error "shared store out of bounds (addr %d)" addrs.(l);
+          sh.(wi) <- value l);
+      let deg = max (bank_conflict_degree addrs mask 0) (bank_conflict_degree addrs mask 1) in
+      ctx.sm.conflict_extra <- ctx.sm.conflict_extra + ((deg - 1) * lat.issue);
+      lat.issue * deg
+    | Instr.Const -> launch_error "stores to constant memory are not allowed"
+    | Instr.Local ->
+      let lm = w.blk.local in
+      for_lanes (fun l ->
+          let tid = (w.wid * 32) + l in
+          if addrs.(l) lsr 2 >= ctx.ck.lmem_words then
+            launch_error "local store out of bounds (addr %d)" addrs.(l);
+          lm.((tid * ctx.ck.lmem_words) + (addrs.(l) lsr 2)) <- value l);
+      let halves = (if mask land 0xFFFF <> 0 then 1 else 0) + if mask land 0xFFFF0000 <> 0 then 1 else 0 in
+      ignore
+        (charge_channel ctx (c + lat.issue) ~tx:halves ~bytes:(64 * halves)
+           ~tx_cost:ctx.lat.coalesced_tx);
+      lat.issue)
+  | Instr.Bar ->
+    (* Handled by the scheduler (needs block-wide state); executing it
+       here is a bug. *)
+    assert false
+
+(* ------------------------------------------------------------------ *)
+(* SIMT control flow                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let effective_mask (w : warp) (f : frame) = f.mask land lnot w.exited land w.valid_mask
+
+(* Pop frames whose pc reached their reconvergence point or whose lanes
+   have all exited. *)
+let rec normalize (w : warp) =
+  match w.stack with
+  | [] -> w.finished <- true
+  | f :: rest ->
+    if effective_mask w f = 0 || (f.off = 0 && f.bi = f.rpc && f.rpc >= 0) then begin
+      w.stack <- rest;
+      normalize w
+    end
+
+(* Execute the terminator of the current block for warp [w]. *)
+let exec_term ctx (w : warp) (f : frame) (mask : int) (c : int) : int =
+  let ck = ctx.ck in
+  (match ck.blocks.(f.bi).cterm with
+  | CJump target ->
+    f.bi <- target;
+    f.off <- 0;
+    normalize w
+  | CRet ->
+    w.exited <- w.exited lor mask;
+    w.stack <- List.tl w.stack;
+    normalize w
+  | CBr { pred; negate; if_true; if_false; reconv } ->
+    let taken = ref 0 in
+    for lane = 0 to 31 do
+      if mask land (1 lsl lane) <> 0 then
+        let p = eval_p ctx w lane (Instr.Reg pred) in
+        if p <> negate then taken := !taken lor (1 lsl lane)
+    done;
+    let not_taken = mask land lnot !taken in
+    if not_taken = 0 then begin
+      f.bi <- if_true;
+      f.off <- 0;
+      normalize w
+    end
+    else if !taken = 0 then begin
+      f.bi <- if_false;
+      f.off <- 0;
+      normalize w
+    end
+    else begin
+      (* Divergence: current frame becomes the continuation at the
+         reconvergence point; the two sides run first (taken on top). *)
+      f.bi <- reconv;
+      f.off <- 0;
+      w.stack <-
+        { bi = if_true; off = 0; rpc = reconv; mask = !taken }
+        :: { bi = if_false; off = 0; rpc = reconv; mask = not_taken }
+        :: w.stack;
+      (* The continuation frame must not be popped by the pc = rpc rule,
+         which only triggers for frames with rpc >= 0 — the pushed
+         side frames.  [f] keeps its own rpc. *)
+      normalize w
+    end);
+  ignore c;
+  ctx.lat.issue
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Scoreboard-depth bookkeeping: a warp may track only
+   [Arch.scoreboard_depth] outstanding long-latency results; issuing
+   another long-latency instruction first waits for the oldest to
+   retire. *)
+let drop_retired (w : warp) (c : int) =
+  let k = ref 0 in
+  for idx = 0 to w.n_pending - 1 do
+    if w.pending.(idx) > c then begin
+      w.pending.(!k) <- w.pending.(idx);
+      incr k
+    end
+  done;
+  w.n_pending <- !k
+
+(* Earliest cycle at which a slot frees (the minimum pending time). *)
+let earliest_slot (w : warp) =
+  let m = ref max_int in
+  for idx = 0 to w.n_pending - 1 do
+    if w.pending.(idx) < !m then m := w.pending.(idx)
+  done;
+  !m
+
+let record_pending (w : warp) (completion : int) =
+  if w.n_pending < Array.length w.pending then begin
+    w.pending.(w.n_pending) <- completion;
+    w.n_pending <- w.n_pending + 1
+  end
+
+let is_long_latency (i : Instr.t) =
+  Instr.is_long_latency_mem i || Instr.is_sfu i
+
+(* Next instruction of a warp: either a body instruction or the
+   terminator of the current block. *)
+let next_instr ctx (w : warp) : [ `Body of Instr.t | `Term ] =
+  let f = List.hd w.stack in
+  let b = ctx.ck.blocks.(f.bi) in
+  if f.off < Array.length b.body then `Body b.body.(f.off) else `Term
+
+(* Earliest cycle warp [w] could issue its next instruction, given its
+   scoreboard (ignores the SM issue pipe). *)
+let warp_earliest ctx (w : warp) : int =
+  if not ctx.timing then w.wake
+  else
+    match next_instr ctx w with
+    | `Term ->
+      let f = List.hd w.stack in
+      let rdy =
+        match ctx.ck.blocks.(f.bi).cterm with
+        | CBr { pred; _ } -> operand_ready w (Instr.Reg pred)
+        | CJump _ | CRet -> 0
+      in
+      max w.wake rdy
+    | `Body ins ->
+      let e =
+        List.fold_left (fun acc o ->
+            match o with Instr.Reg _ -> max acc (operand_ready w o) | _ -> acc)
+          w.wake (Instr.operands ins)
+      in
+      if is_long_latency ins then begin
+        drop_retired w e;
+        if w.n_pending >= Array.length w.pending then max e (earliest_slot w) else e
+      end
+      else e
+
+(* Issue one instruction for warp [w] at cycle [c].  Returns the
+   number of cycles the instruction occupies the issue pipe (which
+   throttles both this warp and, via the scheduler, the whole SM —
+   SFU ops, bank conflicts and divergent constant accesses all
+   serialize here). *)
+let issue ctx (w : warp) (c : int) : int =
+  let f = List.hd w.stack in
+  let mask = effective_mask w f in
+  ctx.sm.n_warp_instrs <- ctx.sm.n_warp_instrs + 1;
+  match next_instr ctx w with
+  | `Term ->
+    let cost = exec_term ctx w f mask c in
+    w.wake <- c + cost;
+    cost
+  | `Body Instr.Bar ->
+    f.off <- f.off + 1;
+    w.at_barrier <- true;
+    w.blk.arrived <- w.blk.arrived + 1;
+    if w.blk.arrived >= w.blk.live_warps then begin
+      (* All live warps arrived: release everyone. *)
+      w.blk.arrived <- 0;
+      List.iter
+        (fun w' ->
+          if not w'.finished then begin
+            w'.at_barrier <- false;
+            w'.wake <- max w'.wake (c + ctx.lat.issue)
+          end)
+        w.blk.warps
+    end;
+    ctx.lat.issue
+  | `Body ins ->
+    let cost = exec_instr ctx w mask c ins in
+    f.off <- f.off + 1;
+    w.wake <- c + cost;
+    if ctx.timing && is_long_latency ins then begin
+      drop_retired w c;
+      (match Instr.def ins with
+      | Some d -> record_pending w (operand_ready w (Instr.Reg d))
+      | None -> ())
+    end;
+    cost
+
+(* ------------------------------------------------------------------ *)
+(* Launch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let make_block ctx (cta_x : int) (cta_y : int) (start_cycle : int) : block_st =
+  let ck = ctx.ck in
+  let tpb = ctx.bdim_x * ctx.bdim_y in
+  let n_warps = Util.Stats.cdiv tpb 32 in
+  let blk =
+    {
+      cta_x;
+      cta_y;
+      shared = Array.make (max 1 ck.smem_words) 0.0;
+      local = (if ck.lmem_words > 0 then Array.make (tpb * ck.lmem_words) 0.0 else [||]);
+      arrived = 0;
+      live_warps = n_warps;
+      warps = [];
+    }
+  in
+  let warps =
+    List.init n_warps (fun wid ->
+        let lanes = min 32 (tpb - (wid * 32)) in
+        let valid_mask = if lanes = 32 then full_mask else (1 lsl lanes) - 1 in
+        {
+          wid;
+          valid_mask;
+          fregs = Array.make (max 1 ck.nf * 32) 0.0;
+          iregs = Array.make (max 1 ck.nr * 32) 0;
+          pregs = Array.make (max 1 ck.np * 32) false;
+          f_ready = Array.make (max 1 ck.nf) 0;
+          i_ready = Array.make (max 1 ck.nr) 0;
+          p_ready = Array.make (max 1 ck.np) 0;
+          stack = [ { bi = 0; off = 0; rpc = -1; mask = full_mask } ];
+          exited = 0;
+          wake = start_cycle;
+          at_barrier = false;
+          finished = false;
+          pending = Array.make Arch.scoreboard_depth 0;
+          n_pending = 0;
+          blk;
+        })
+  in
+  blk.warps <- warps;
+  blk
+
+(* Run [block_coords] through one SM with at most [b_sm] resident
+   blocks; returns the cycle the last block finishes. *)
+let run_sm ctx (block_coords : (int * int) list) (b_sm : int) : int =
+  let pending = ref block_coords in
+  let resident : warp list ref = ref [] in
+  let resident_blocks = ref 0 in
+  let finish_cycle = ref 0 in
+  let admit c =
+    while !resident_blocks < b_sm && !pending <> [] do
+      match !pending with
+      | [] -> ()
+      | (bx, by) :: rest ->
+        pending := rest;
+        let blk = make_block ctx bx by c in
+        incr resident_blocks;
+        resident := !resident @ blk.warps
+    done
+  in
+  admit 0;
+  let continue_ = ref (!resident <> []) in
+  while !continue_ do
+    (* Pick the runnable warp with the smallest earliest-issue cycle. *)
+    let best = ref None in
+    List.iter
+      (fun w ->
+        if (not w.finished) && not w.at_barrier then begin
+          let e = warp_earliest ctx w in
+          match !best with
+          | Some (_, e') when e' <= e -> ()
+          | _ -> best := Some (w, e)
+        end)
+      !resident;
+    (match !best with
+    | None ->
+      if List.exists (fun w -> not w.finished) !resident then
+        failwith "Sim: deadlock — all live warps waiting at a barrier"
+      else continue_ := false
+    | Some (w, e) ->
+      let c = if ctx.timing then max e ctx.sm.issue_free else e in
+      let cost = issue ctx w c in
+      if ctx.timing then ctx.sm.issue_free <- c + cost;
+      if w.finished then begin
+        let blk = w.blk in
+        blk.live_warps <- blk.live_warps - 1;
+        (* A warp exiting while others wait at the barrier can now
+           satisfy it. *)
+        if blk.live_warps > 0 && blk.arrived >= blk.live_warps then begin
+          blk.arrived <- 0;
+          List.iter
+            (fun w' ->
+              if not w'.finished then begin
+                w'.at_barrier <- false;
+                w'.wake <- max w'.wake (c + ctx.lat.issue)
+              end)
+            blk.warps
+        end;
+        if blk.live_warps = 0 then begin
+          finish_cycle := max !finish_cycle (c + ctx.lat.issue);
+          resident := List.filter (fun w' -> w'.blk != blk) !resident;
+          decr resident_blocks;
+          admit (c + ctx.lat.issue)
+        end
+      end;
+      if !resident = [] && !pending = [] then continue_ := false);
+    if ctx.timing then finish_cycle := max !finish_cycle ctx.sm.issue_free
+  done;
+  !finish_cycle
+
+let default_max_blocks = 24
+
+(* Launch a kernel.  In [Timing] mode, simulates the blocks assigned to
+   one representative SM (capped) and extrapolates; in [Functional]
+   mode executes every block of the grid. *)
+let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latencies)
+    (dev : Device.t) (l : launch) : stats =
+  let gx, gy = l.grid in
+  let bx, by = l.block in
+  let tpb = bx * by in
+  if gx <= 0 || gy <= 0 then launch_error "empty grid (%d x %d)" gx gy;
+  if tpb <= 0 then launch_error "empty block (%d x %d)" bx by;
+  if tpb > limits.Arch.max_threads_per_block then
+    launch_error "block of %d threads exceeds the %d-thread limit" tpb
+      limits.Arch.max_threads_per_block;
+  if l.kernel.Prog.smem_words * 4 > limits.Arch.smem_per_sm then
+    launch_error "shared memory (%d bytes) exceeds per-SM capacity" (l.kernel.Prog.smem_words * 4);
+  let resource = Ptx.Resource.of_kernel l.kernel in
+  let occ =
+    Arch.occupancy ~limits ~threads_per_block:tpb ~regs_per_thread:resource.regs_per_thread
+      ~smem_per_block:resource.smem_bytes_per_block ()
+  in
+  let timing = match mode with Timing _ -> true | Functional -> false in
+  if timing && not (Arch.is_valid occ) then
+    launch_error "invalid executable: 0 blocks fit an SM (%s limited)" occ.limiter;
+  let ck = compile_kernel l.kernel l.args in
+  let sm =
+    { issue_free = 0; mem_free = 0; n_warp_instrs = 0; n_tx = 0; n_bytes = 0; conflict_extra = 0 }
+  in
+  let ctx =
+    { dev; ck; lat = latencies; bdim_x = bx; bdim_y = by; gdim_x = gx; gdim_y = gy; timing; sm }
+  in
+  let total_blocks = gx * gy in
+  let all_coords =
+    List.init total_blocks (fun i -> (i mod gx, i / gx))
+  in
+  match mode with
+  | Functional ->
+    (* Execute every block; blocks are independent, so one at a time. *)
+    List.iter (fun coord -> ignore (run_sm ctx [ coord ] 1)) all_coords;
+    {
+      cycles = 0.0;
+      time_s = 0.0;
+      total_blocks;
+      blocks_simulated = total_blocks;
+      warp_instrs = sm.n_warp_instrs;
+      gmem_transactions = sm.n_tx;
+      gmem_bytes = sm.n_bytes;
+      bank_conflict_extra = sm.conflict_extra;
+      occupancy = occ;
+      regs_per_thread = resource.regs_per_thread;
+    }
+  | Timing { max_blocks } ->
+    (* Blocks are distributed round-robin over SMs; simulate SM 0's
+       share, capped, and extrapolate. *)
+    let assigned =
+      List.filteri (fun i _ -> i mod limits.Arch.num_sms = 0) all_coords
+    in
+    let n_assigned = List.length assigned in
+    let n_sim = min n_assigned (max 1 max_blocks) in
+    (* Simulate whole residency waves where possible: a trailing
+       partial wave under-fills the SM and, in a small sample, biases
+       the linear extrapolation upward far more than the real run's
+       single tail wave does. *)
+    let n_sim =
+      if n_sim >= occ.blocks_per_sm && n_sim < n_assigned then
+        n_sim / occ.blocks_per_sm * occ.blocks_per_sm
+      else n_sim
+    in
+    let simulated = List.filteri (fun i _ -> i < n_sim) assigned in
+    let cycles_sim = run_sm ctx simulated occ.blocks_per_sm in
+    let scale = float_of_int n_assigned /. float_of_int n_sim in
+    let cycles = float_of_int cycles_sim *. scale in
+    {
+      cycles;
+      time_s = cycles /. Arch.clock_hz;
+      total_blocks;
+      blocks_simulated = n_sim;
+      warp_instrs = sm.n_warp_instrs;
+      gmem_transactions = sm.n_tx;
+      gmem_bytes = sm.n_bytes;
+      bank_conflict_extra = sm.conflict_extra;
+      occupancy = occ;
+      regs_per_thread = resource.regs_per_thread;
+    }

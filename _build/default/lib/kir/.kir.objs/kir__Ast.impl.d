@@ -1,0 +1,1 @@
+lib/kir/ast.ml: List Ptx String Util

@@ -1,0 +1,1 @@
+lib/kir/interp.ml: Array Ast Effect Float Gpu Hashtbl List Printf Typecheck Util

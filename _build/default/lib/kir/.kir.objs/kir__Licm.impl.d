@@ -1,0 +1,1 @@
+lib/kir/licm.ml: Ast List

@@ -1,0 +1,1 @@
+lib/kir/lower.ml: Ast Hashtbl List Printf Ptx Typecheck

@@ -1,0 +1,1 @@
+lib/kir/prefetch.ml: Ast List String

@@ -1,0 +1,1 @@
+lib/kir/spill.ml: Ast Hashtbl List

@@ -1,0 +1,1 @@
+lib/kir/typecheck.ml: Ast Hashtbl List Printf

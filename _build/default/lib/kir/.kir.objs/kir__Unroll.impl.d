@@ -1,0 +1,1 @@
+lib/kir/unroll.ml: Ast List Printf

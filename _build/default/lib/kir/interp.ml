@@ -1,0 +1,326 @@
+(* Reference interpreter for KIR kernels.
+
+   Executes a kernel launch directly over [Gpu.Device] memory with the
+   same argument convention as the simulator, giving an independent
+   semantics against which both the lowering (KIR -> PTX) and the
+   optimization passes are differentially tested.
+
+   Threads of a block run as OCaml-5 fibers: [__syncthreads] performs
+   the [Sync_point] effect, the per-block scheduler collects the
+   captured continuations, and resumes every thread once all live
+   threads have arrived — faithful barrier semantics without CPS-ing
+   the interpreter. *)
+
+open Ast
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type value = VI of int | VF of float | VB of bool
+
+let as_i = function VI i -> i | VF _ -> fail "expected int, got float" | VB _ -> fail "expected int, got bool"
+let as_f = function VF f -> f | VI _ -> fail "expected float, got int" | VB _ -> fail "expected float, got bool"
+let as_b = function VB b -> b | _ -> fail "expected bool"
+
+type _ Effect.t += Sync_point : unit Effect.t
+
+exception Thread_exit
+
+(* Arrays visible to a thread: parameter arrays resolve into device
+   memory; shared and local arrays are plain OCaml arrays. *)
+type astore =
+  | In_device of Gpu.Device.buffer
+  | In_shared of float array
+  | In_local of float array  (* this thread's private slice *)
+
+type tctx = {
+  dev : Gpu.Device.t;
+  arrays : (string, astore) Hashtbl.t;
+  scalars : (string, value) Hashtbl.t;  (* scalar params *)
+  vars : (string, value ref) Hashtbl.t;
+  tid_x : int;
+  tid_y : int;
+  bid_x : int;
+  bid_y : int;
+  bdim : int * int;
+  gdim : int * int;
+}
+
+let spec_value (c : tctx) = function
+  | TidX -> c.tid_x
+  | TidY -> c.tid_y
+  | BidX -> c.bid_x
+  | BidY -> c.bid_y
+  | BdimX -> fst c.bdim
+  | BdimY -> snd c.bdim
+  | GdimX -> fst c.gdim
+  | GdimY -> snd c.gdim
+
+let rec eval (c : tctx) (e : expr) : value =
+  match e with
+  | Int i -> VI i
+  | Flt f -> VF f
+  | Bool b -> VB b
+  | Var x -> (
+    match Hashtbl.find_opt c.vars x with
+    | Some r -> !r
+    | None -> fail "unbound variable %S" x)
+  | Param p -> (
+    match Hashtbl.find_opt c.scalars p with
+    | Some x -> x
+    | None -> fail "unbound scalar parameter %S" p)
+  | Special s -> VI (spec_value c s)
+  | Bin (op, a, b) -> eval_bin c op (eval c a) (eval c b)
+  | Un (op, a) -> eval_un op (eval c a)
+  | Ld (arr, idx) ->
+    let i = as_i (eval c idx) in
+    VF (load c arr i)
+  | Select (cond, a, b) ->
+    (* Both arms are evaluated, as on the SIMD hardware. *)
+    let va = eval c a and vb = eval c b in
+    if as_b (eval c cond) then va else vb
+
+and eval_bin c op (a : value) (b : value) : value =
+  ignore c;
+  let module F = Util.Float32 in
+  match (op, a, b) with
+  | Add, VF x, VF y -> VF (F.add x y)
+  | Sub, VF x, VF y -> VF (F.sub x y)
+  | Mul, VF x, VF y -> VF (F.mul x y)
+  | Div, VF x, VF y -> VF (F.div x y)
+  | Rem, VF x, VF y -> VF (F.round (Float.rem x y))
+  | Min, VF x, VF y -> VF (F.min x y)
+  | Max, VF x, VF y -> VF (F.max x y)
+  | Add, VI x, VI y -> VI (x + y)
+  | Sub, VI x, VI y -> VI (x - y)
+  | Mul, VI x, VI y -> VI (x * y)
+  | Div, VI x, VI y -> VI (if y = 0 then 0 else x / y)
+  | Rem, VI x, VI y -> VI (if y = 0 then 0 else x mod y)
+  | Min, VI x, VI y -> VI (min x y)
+  | Max, VI x, VI y -> VI (max x y)
+  | And, VI x, VI y -> VI (x land y)
+  | Or, VI x, VI y -> VI (x lor y)
+  | Xor, VI x, VI y -> VI (x lxor y)
+  | Shl, VI x, VI y -> VI (x lsl y)
+  | Shr, VI x, VI y -> VI (x asr y)
+  | Eq, VI x, VI y -> VB (x = y)
+  | Ne, VI x, VI y -> VB (x <> y)
+  | Lt, VI x, VI y -> VB (x < y)
+  | Le, VI x, VI y -> VB (x <= y)
+  | Gt, VI x, VI y -> VB (x > y)
+  | Ge, VI x, VI y -> VB (x >= y)
+  | Eq, VF x, VF y -> VB (x = y)
+  | Ne, VF x, VF y -> VB (x <> y)
+  | Lt, VF x, VF y -> VB (x < y)
+  | Le, VF x, VF y -> VB (x <= y)
+  | Gt, VF x, VF y -> VB (x > y)
+  | Ge, VF x, VF y -> VB (x >= y)
+  | LAnd, VB x, VB y -> VB (x && y)
+  | LOr, VB x, VB y -> VB (x || y)
+  | _ -> fail "ill-typed binary operation (typechecker bypassed?)"
+
+and eval_un op (a : value) : value =
+  let module F = Util.Float32 in
+  match (op, a) with
+  | Neg, VF x -> VF (F.neg x)
+  | Neg, VI x -> VI (-x)
+  | Abs, VF x -> VF (F.abs x)
+  | Abs, VI x -> VI (abs x)
+  | Sqrt, VF x -> VF (F.sqrt x)
+  | Rsqrt, VF x -> VF (F.rsqrt x)
+  | Rcp, VF x -> VF (F.rcp x)
+  | Sin, VF x -> VF (F.sin x)
+  | Cos, VF x -> VF (F.cos x)
+  | Not, VB x -> VB (not x)
+  | ToF, VI x -> VF (F.of_int x)
+  | ToI, VF x -> VI (int_of_float x)
+  | _ -> fail "ill-typed unary operation"
+
+and load (c : tctx) (arr : string) (i : int) : float =
+  match Hashtbl.find_opt c.arrays arr with
+  | None -> fail "unknown array %S" arr
+  | Some (In_device b) -> Gpu.Device.get c.dev b i
+  | Some (In_shared a) ->
+    if i < 0 || i >= Array.length a then fail "shared load out of bounds: %s[%d]" arr i;
+    a.(i)
+  | Some (In_local a) ->
+    if i < 0 || i >= Array.length a then fail "local load out of bounds: %s[%d]" arr i;
+    a.(i)
+
+let store (c : tctx) (arr : string) (i : int) (value : float) : unit =
+  match Hashtbl.find_opt c.arrays arr with
+  | None -> fail "unknown array %S" arr
+  | Some (In_device b) -> Gpu.Device.set c.dev b i value
+  | Some (In_shared a) ->
+    if i < 0 || i >= Array.length a then fail "shared store out of bounds: %s[%d]" arr i;
+    a.(i) <- value
+  | Some (In_local a) ->
+    if i < 0 || i >= Array.length a then fail "local store out of bounds: %s[%d]" arr i;
+    a.(i) <- value
+
+let rec exec (c : tctx) (s : stmt) : unit =
+  match s with
+  | Let (x, _, e) | Mut (x, _, e) -> Hashtbl.replace c.vars x (ref (eval c e))
+  | Assign (x, e) -> (
+    match Hashtbl.find_opt c.vars x with
+    | Some r -> r := eval c e
+    | None -> fail "assignment to unbound %S" x)
+  | Store (arr, idx, value) -> store c arr (as_i (eval c idx)) (as_f (eval c value))
+  | For l ->
+    let lo = as_i (eval c l.lo) in
+    let hi = as_i (eval c l.hi) in
+    let step = as_i (eval c l.step) in
+    if step <= 0 then fail "loop %S: non-positive step" l.var;
+    let r = ref (VI lo) in
+    Hashtbl.replace c.vars l.var r;
+    let iv = ref lo in
+    while !iv < hi do
+      r := VI !iv;
+      List.iter (exec c) l.body;
+      iv := !iv + step
+    done;
+    Hashtbl.remove c.vars l.var
+  | If (cond, t, e) -> if as_b (eval c cond) then List.iter (exec c) t else List.iter (exec c) e
+  | Sync -> Effect.perform Sync_point
+  | Return -> raise Thread_exit
+
+(* ------------------------------------------------------------------ *)
+(* Block scheduler                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type thread_state =
+  | Ready of (unit -> unit)  (* not yet started *)
+  | Waiting of (unit, unit) Effect.Deep.continuation
+  | Done
+
+(* Run all threads of one block to completion with correct barrier
+   semantics.  Threads that exit stop participating in barriers (the
+   permissive semantics real hardware exhibits, and the one the timing
+   simulator implements); a round in which no thread can progress is a
+   deadlock error. *)
+let run_block (mk_thread : int -> int -> unit -> unit) ~(bdim : int * int) : unit =
+  let bx, by = bdim in
+  let n = bx * by in
+  let states =
+    Array.init n (fun lin -> Ready (mk_thread (lin mod bx) (lin / bx)))
+  in
+  let arrived = ref 0 in
+  let live = ref n in
+  let handler (k : (unit, unit) Effect.Deep.continuation) (slot : int) =
+    states.(slot) <- Waiting k;
+    incr arrived
+  in
+  let run_one slot (f : unit -> unit) =
+    let open Effect.Deep in
+    match_with
+      (fun () -> (try f () with Thread_exit -> ()))
+      ()
+      {
+        retc = (fun () -> states.(slot) <- Done; decr live);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sync_point ->
+              Some (fun (k : (a, unit) continuation) -> handler k slot)
+            | _ -> None);
+      }
+  in
+  let progressing = ref true in
+  while !live > 0 && !progressing do
+    progressing := false;
+    (* Start or resume every runnable thread. *)
+    Array.iteri
+      (fun slot st ->
+        match st with
+        | Ready f ->
+          progressing := true;
+          run_one slot f
+        | Waiting _ | Done -> ())
+      states;
+    (* All threads have either finished or are waiting at the barrier. *)
+    if !live > 0 then begin
+      if !arrived < !live then
+        fail "barrier divergence: %d of %d live threads reached __syncthreads" !arrived !live;
+      arrived := 0;
+      let to_resume =
+        Array.to_list states
+        |> List.mapi (fun slot st -> (slot, st))
+        |> List.filter_map (fun (slot, st) ->
+               match st with Waiting k -> Some (slot, k) | _ -> None)
+      in
+      List.iter
+        (fun (slot, k) ->
+          progressing := true;
+          let open Effect.Deep in
+          (* Re-install the handler by wrapping continue: the deep
+             handler installed by [match_with] remains in effect for
+             the resumed fiber, so a later Sync lands back in
+             [handler]. *)
+          states.(slot) <- Done;
+          (* Mark provisionally; the handler or retc will fix it. *)
+          (try continue k ()
+           with Thread_exit -> ());
+          (match states.(slot) with
+          | Done -> ()  (* thread neither synced nor updated: it returned through retc *)
+          | _ -> ()))
+        to_resume
+    end
+  done;
+  if !live > 0 then fail "block made no progress (deadlock)"
+
+(* ------------------------------------------------------------------ *)
+(* Launch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run (dev : Gpu.Device.t) (k : kernel) ~(grid : int * int) ~(block : int * int)
+    ~(args : (string * Gpu.Sim.arg) list) : unit =
+  Typecheck.check k;
+  let gx, gy = grid in
+  let scalars = Hashtbl.create 8 in
+  let dev_arrays = Hashtbl.create 8 in
+  List.iter
+    (fun (name, ty) ->
+      match (List.assoc_opt name args, ty) with
+      | Some (Gpu.Sim.I i), S32 -> Hashtbl.replace scalars name (VI i)
+      | Some (Gpu.Sim.F f), F32 -> Hashtbl.replace scalars name (VF f)
+      | Some _, _ -> fail "argument %S has wrong kind" name
+      | None, _ -> fail "missing argument %S" name)
+    k.scalar_params;
+  List.iter
+    (fun (a : array_param) ->
+      match List.assoc_opt a.aname args with
+      | Some (Gpu.Sim.Buf b) -> Hashtbl.replace dev_arrays a.aname (In_device b)
+      | _ -> fail "missing buffer argument %S" a.aname)
+    k.array_params;
+  for bid = 0 to (gx * gy) - 1 do
+    let bid_x = bid mod gx and bid_y = bid / gx in
+    (* Shared arrays are per block. *)
+    let shared =
+      List.map (fun (name, words) -> (name, Array.make words 0.0)) k.shared_decls
+    in
+    let mk_thread tx ty () =
+      let arrays = Hashtbl.copy dev_arrays in
+      List.iter (fun (name, arr) -> Hashtbl.replace arrays name (In_shared arr)) shared;
+      List.iter
+        (fun (name, words) -> Hashtbl.replace arrays name (In_local (Array.make words 0.0)))
+        k.local_decls;
+      let c =
+        {
+          dev;
+          arrays;
+          scalars;
+          vars = Hashtbl.create 32;
+          tid_x = tx;
+          tid_y = ty;
+          bid_x;
+          bid_y;
+          bdim = block;
+          gdim = grid;
+        }
+      in
+      List.iter (exec c) k.body
+    in
+    run_block mk_thread ~bdim:block
+  done

@@ -1,0 +1,41 @@
+(* Loop-invariant code motion.
+
+   Hoists pure, load-free [Let] bindings whose free variables are
+   neither the loop variable nor anything assigned or bound in the loop
+   body.  Conservative by design: loads never move (a barrier inside
+   the loop may order them against stores from other threads), and
+   mutable declarations stay put. *)
+
+open Ast
+
+let rec hoist_in (ss : stmt list) : stmt list =
+  List.concat_map
+    (fun s ->
+      match s with
+      | For l ->
+        let body = hoist_in l.body in
+        let blocked = l.var :: assigned_vars body (bound_vars body []) in
+        let invariant = function
+          | Let (_, _, e) ->
+            (not (has_load e))
+            && List.for_all (fun x -> not (List.mem x blocked)) (free_vars_expr e [])
+          | _ -> false
+        in
+        (* Only a prefix of consecutive invariant Lets may move: a Let
+           later in the body could depend on a non-invariant one
+           textually before it, and hoisting from the middle would
+           reorder definitions. Prefix hoisting is safe and catches the
+           address-setup code kernels actually generate. *)
+        let rec split = function
+          | x :: rest when invariant x ->
+            let pre, post = split rest in
+            (x :: pre, post)
+          | rest -> ([], rest)
+        in
+        let hoisted, remaining = split body in
+        hoisted @ [ For { l with body = remaining } ]
+      | If (c, t, e) -> [ If (c, hoist_in t, hoist_in e) ]
+      | _ -> [ s ])
+    ss
+
+let apply (k : kernel) : kernel = { k with body = hoist_in k.body }

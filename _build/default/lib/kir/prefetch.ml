@@ -1,0 +1,126 @@
+(* Global-load prefetching (paper section 3.1, fourth category:
+   intra-thread parallelism; Figure 2(d)).
+
+   Targets the canonical tiled-kernel loop shape
+
+     for t in lo..hi step s:
+       x_1 = A[f_1(t)]; ...; x_n = B[f_n(t)];   (global loads)
+       <stores of x_i to shared, index lets>
+       __syncthreads();
+       <compute>
+       __syncthreads();
+
+   and software-pipelines it: the loads for iteration [t+s] are issued
+   right after the shared-memory stores of iteration [t]'s data — long
+   before their use — so the global-memory latency overlaps the compute
+   phase.  The rotating values live in extra registers ([cur]/[next]),
+   which is exactly why the paper observes prefetching increasing
+   register pressure.
+
+   The load of the final (out-of-range) iteration is guarded by a
+   uniform bounds check, so semantics are preserved exactly. *)
+
+open Ast
+
+(* A leading global load: [Let (x, F32, Ld (arr, idx))] where [arr] is
+   one of the kernel's global arrays. *)
+let is_global_load (globals : string list) = function
+  | Let (_, F32, Ld (arr, _)) -> List.mem arr globals
+  | _ -> false
+
+let rec split_prefix p = function
+  | x :: rest when p x ->
+    let pre, post = split_prefix p rest in
+    (x :: pre, post)
+  | rest -> ([], rest)
+
+(* Substitute [var := by] inside an expression. *)
+let subst_expr_in (e : expr) (var : string) (by : expr) : expr =
+  map_expr (function Var x when String.equal x var -> by | e' -> e') e
+
+(* Transform one loop if it matches; [None] if it does not. *)
+let pipeline_loop (globals : string list) (l : loop) : stmt list option =
+  let loads, rest = split_prefix (is_global_load globals) l.body in
+  if loads = [] then None
+  else if
+    (* The body must contain a barrier (tile kernels do); without one
+       the scheduler already overlaps freely and the transformation
+       only costs registers. *)
+    not (List.exists (function Sync -> true | _ -> false) rest)
+  then None
+  else begin
+    let cur x = x ^ "#cur" in
+    let next x = x ^ "#next" in
+    let load_info =
+      List.map
+        (function
+          | Let (x, F32, Ld (arr, idx)) -> (x, arr, idx)
+          | _ -> assert false)
+        loads
+    in
+    (* Prologue: fetch iteration [lo]'s data into the rotating regs. *)
+    let prologue =
+      List.map
+        (fun (x, arr, idx) ->
+          Mut (cur x, F32, Ld (arr, subst_expr_in idx l.var l.lo)))
+        load_info
+    in
+    (* In-loop: uses of x become uses of x#cur. *)
+    let rest = List.concat_map (fun s -> [ s ]) rest in
+    let rest =
+      List.fold_left (fun acc (x, _, _) -> subst_var x (Var (cur x)) acc) rest load_info
+    in
+    (* Issue next iteration's loads immediately after the first barrier
+       would be wrong (the shared stores need x#cur first); issue them
+       right before the first Sync. *)
+    let next_t = Bin (Add, Var l.var, l.step) in
+    let guard = Bin (Lt, next_t, l.hi) in
+    let prefetches =
+      List.concat_map
+        (fun (x, arr, idx) ->
+          [
+            Mut (next x, F32, Flt 0.0);
+            If
+              ( guard,
+                [ Assign (next x, Ld (arr, subst_expr_in idx l.var next_t)) ],
+                [] );
+          ])
+        load_info
+    in
+    let rotates = List.map (fun (x, _, _) -> Assign (cur x, Var (next x))) load_info in
+    (* Place prefetches just before the first Sync, rotations at the
+       very end of the body. *)
+    let rec insert_before_sync = function
+      | Sync :: tl -> prefetches @ (Sync :: tl)
+      | s :: tl -> s :: insert_before_sync tl
+      | [] -> prefetches
+    in
+    let body' = insert_before_sync rest @ rotates in
+    Some (prologue @ [ For { l with body = body' } ])
+  end
+
+(* Apply prefetching to every outer loop that matches the pattern.
+   Returns the kernel and whether anything changed. *)
+let apply (k : kernel) : kernel * bool =
+  let globals =
+    List.filter_map
+      (fun (a : array_param) -> if a.aspace = Global then Some a.aname else None)
+      k.array_params
+  in
+  let changed = ref false in
+  let rec go ss =
+    List.concat_map
+      (fun s ->
+        match s with
+        | For l -> (
+          match pipeline_loop globals l with
+          | Some ss' ->
+            changed := true;
+            ss'
+          | None -> [ For { l with body = go l.body } ])
+        | If (c, t, e) -> [ If (c, go t, go e) ]
+        | _ -> [ s ])
+      ss
+  in
+  let body = go k.body in
+  ({ k with body }, !changed)

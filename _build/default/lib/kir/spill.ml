@@ -1,0 +1,80 @@
+(* Proactive register spilling (paper section 3.1, fifth category:
+   resource balancing).
+
+   "By reducing register usage, often a critical resource, more thread
+   blocks may be assigned to each SM" — the transformation demotes
+   selected scalar bindings to per-thread local memory: the definition
+   becomes a store, every use becomes a load.  Each spilled value costs
+   extra instructions and off-chip latency; the payoff, when there is
+   one, comes entirely through occupancy. *)
+
+open Ast
+
+let slot_name x = x ^ "#spill"
+
+(* Demote the named variables.  Variables must be scalar [Let]/[Mut]
+   bindings of F32 or S32 type (integers round-trip exactly through the
+   f32-word local store for the magnitudes kernels use). *)
+let apply ~(vars : string list) (k : kernel) : kernel =
+  if vars = [] then k
+  else begin
+    let spilled = Hashtbl.create 8 in
+    List.iter (fun x -> Hashtbl.replace spilled x ()) vars;
+    let is_spilled x = Hashtbl.mem spilled x in
+    (* Uses: Var x -> Ld (slot, 0); for integer variables a ToI wraps
+       the load (locals hold f32 words). *)
+    let var_ty = Hashtbl.create 8 in
+    let rec record_tys ss =
+      List.iter
+        (fun s ->
+          match s with
+          | Let (x, ty, _) | Mut (x, ty, _) -> Hashtbl.replace var_ty x ty
+          | For l -> record_tys l.body
+          | If (_, t, e) ->
+            record_tys t;
+            record_tys e
+          | _ -> ())
+        ss
+    in
+    record_tys k.body;
+    let use_of x =
+      match Hashtbl.find_opt var_ty x with
+      | Some F32 -> Ld (slot_name x, Int 0)
+      | Some S32 -> Un (ToI, Ld (slot_name x, Int 0))
+      | Some Bool | None -> Var x (* not spillable; leave untouched *)
+    in
+    let spillable x =
+      is_spilled x
+      && match Hashtbl.find_opt var_ty x with Some (F32 | S32) -> true | _ -> false
+    in
+    let fix_expr = map_expr (function Var x when spillable x -> use_of x | e -> e) in
+    let def_store x e =
+      match Hashtbl.find_opt var_ty x with
+      | Some F32 -> Store (slot_name x, Int 0, e)
+      | Some S32 -> Store (slot_name x, Int 0, Un (ToF, e))
+      | _ -> assert false
+    in
+    let rec fix_stmt s =
+      match s with
+      | Let (x, _, e) | Mut (x, _, e) when spillable x -> def_store x (fix_expr e)
+      | Assign (x, e) when spillable x -> def_store x (fix_expr e)
+      | Let (x, ty, e) -> Let (x, ty, fix_expr e)
+      | Mut (x, ty, e) -> Mut (x, ty, fix_expr e)
+      | Assign (x, e) -> Assign (x, fix_expr e)
+      | Store (a, idx, e) -> Store (a, fix_expr idx, fix_expr e)
+      | For l ->
+        For
+          {
+            l with
+            lo = fix_expr l.lo;
+            hi = fix_expr l.hi;
+            body = List.map fix_stmt l.body;
+          }
+      | If (c, t, e) -> If (fix_expr c, List.map fix_stmt t, List.map fix_stmt e)
+      | Sync | Return -> s
+    in
+    let new_locals =
+      List.filter_map (fun x -> if spillable x then Some (slot_name x, 1) else None) vars
+    in
+    { k with local_decls = k.local_decls @ new_locals; body = List.map fix_stmt k.body }
+  end

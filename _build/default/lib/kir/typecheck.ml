@@ -1,0 +1,156 @@
+(* Static checks over KIR kernels.
+
+   Checks well-typedness (operator/operand compatibility, conditions
+   are boolean, indices are integers), well-scopedness (no use before
+   definition, no redeclaration, assignment only to mutable bindings),
+   and structural constraints required by lowering (positive constant
+   loop steps, array names resolve to a parameter or declaration).
+
+   [type_of_expr] is also used by [Lower] to pick instruction
+   classes. *)
+
+open Ast
+
+exception Type_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+type env = {
+  vars : (string, ty * bool (* mutable *)) Hashtbl.t;
+  arrays : (string, space) Hashtbl.t;
+  params : (string, ty) Hashtbl.t;
+}
+
+let env_of_kernel (k : kernel) : env =
+  let vars = Hashtbl.create 32 in
+  let arrays = Hashtbl.create 8 in
+  let params = Hashtbl.create 8 in
+  List.iter
+    (fun (name, ty) ->
+      if Hashtbl.mem params name then fail "duplicate scalar parameter %S" name;
+      Hashtbl.replace params name ty)
+    k.scalar_params;
+  let add_array name space =
+    if Hashtbl.mem arrays name then fail "duplicate array %S" name;
+    Hashtbl.replace arrays name space
+  in
+  List.iter (fun (a : array_param) -> add_array a.aname a.aspace) k.array_params;
+  List.iter
+    (fun (name, words) ->
+      if words <= 0 then fail "shared array %S must have positive size" name;
+      add_array name Shared)
+    k.shared_decls;
+  List.iter
+    (fun (name, words) ->
+      if words <= 0 then fail "local array %S must have positive size" name;
+      add_array name Local)
+    k.local_decls;
+  { vars; arrays; params }
+
+let arith_ty what = function
+  | F32 -> F32
+  | S32 -> S32
+  | Bool -> fail "%s: boolean operand where arithmetic value expected" what
+
+let rec type_of_expr (env : env) (e : expr) : ty =
+  match e with
+  | Int _ -> S32
+  | Flt _ -> F32
+  | Bool _ -> Bool
+  | Var x -> (
+    match Hashtbl.find_opt env.vars x with
+    | Some (ty, _) -> ty
+    | None -> fail "unbound variable %S" x)
+  | Param p -> (
+    match Hashtbl.find_opt env.params p with
+    | Some ty -> ty
+    | None -> fail "unbound scalar parameter %S" p)
+  | Special _ -> S32
+  | Bin (op, a, b) -> (
+    let ta = type_of_expr env a and tb = type_of_expr env b in
+    match op with
+    | Add | Sub | Mul | Div | Rem | Min | Max ->
+      let ta = arith_ty "arithmetic" ta and tb = arith_ty "arithmetic" tb in
+      if ta <> tb then fail "arithmetic operands disagree (f32 vs s32)";
+      ta
+    | And | Or | Xor | Shl | Shr ->
+      if ta <> S32 || tb <> S32 then fail "bit operation requires s32 operands";
+      S32
+    | Eq | Ne | Lt | Le | Gt | Ge ->
+      let ta = arith_ty "comparison" ta and tb = arith_ty "comparison" tb in
+      if ta <> tb then fail "comparison operands disagree (f32 vs s32)";
+      Bool
+    | LAnd | LOr ->
+      if ta <> Bool || tb <> Bool then fail "logical operation requires boolean operands";
+      Bool)
+  | Un (op, a) -> (
+    let ta = type_of_expr env a in
+    match op with
+    | Neg | Abs ->
+      arith_ty "neg/abs" ta
+    | Sqrt | Rsqrt | Rcp | Sin | Cos ->
+      if ta <> F32 then fail "transcendental requires f32 operand";
+      F32
+    | Not ->
+      if ta <> Bool then fail "not requires boolean operand";
+      Bool
+    | ToF ->
+      if ta <> S32 then fail "tof requires s32 operand";
+      F32
+    | ToI ->
+      if ta <> F32 then fail "toi requires f32 operand";
+      S32)
+  | Ld (arr, idx) ->
+    if not (Hashtbl.mem env.arrays arr) then fail "load from unknown array %S" arr;
+    if type_of_expr env idx <> S32 then fail "index of %S must be s32" arr;
+    F32
+  | Select (c, a, b) ->
+    if type_of_expr env c <> Bool then fail "select condition must be boolean";
+    let ta = type_of_expr env a and tb = type_of_expr env b in
+    if ta <> tb then fail "select arms disagree";
+    ta
+
+let rec check_stmt (env : env) (in_loop : bool) (s : stmt) : unit =
+  match s with
+  | Let (x, ty, e) | Mut (x, ty, e) ->
+    if Hashtbl.mem env.vars x then fail "redeclaration of %S" x;
+    if Hashtbl.mem env.params x then fail "%S shadows a parameter" x;
+    let te = type_of_expr env e in
+    if te <> ty then fail "binding %S declared with mismatched type" x;
+    Hashtbl.replace env.vars x (ty, match s with Mut _ -> true | _ -> false)
+  | Assign (x, e) -> (
+    match Hashtbl.find_opt env.vars x with
+    | None -> fail "assignment to unbound %S" x
+    | Some (_, false) -> fail "assignment to immutable binding %S" x
+    | Some (ty, true) -> if type_of_expr env e <> ty then fail "assignment to %S changes type" x)
+  | Store (arr, idx, value) ->
+    (match Hashtbl.find_opt env.arrays arr with
+    | None -> fail "store to unknown array %S" arr
+    | Some Const -> fail "store to constant array %S" arr
+    | Some _ -> ());
+    if type_of_expr env idx <> S32 then fail "store index of %S must be s32" arr;
+    if type_of_expr env value <> F32 then fail "stored value to %S must be f32" arr
+  | For l ->
+    if Hashtbl.mem env.vars l.var then fail "loop variable %S shadows a binding" l.var;
+    if type_of_expr env l.lo <> S32 then fail "loop %S: lower bound must be s32" l.var;
+    if type_of_expr env l.hi <> S32 then fail "loop %S: upper bound must be s32" l.var;
+    (match l.step with
+    | Int s when s > 0 -> ()
+    | Int _ -> fail "loop %S: step must be positive" l.var
+    | _ -> fail "loop %S: step must be an integer literal" l.var);
+    Hashtbl.replace env.vars l.var (S32, false);
+    List.iter (check_stmt env true) l.body;
+    Hashtbl.remove env.vars l.var
+    (* Bindings made inside the body stay visible to the checker; real
+       scoping is stricter, but kernels are machine-generated and never
+       reuse names across sibling scopes. *)
+  | If (c, t, e) ->
+    if type_of_expr env c <> Bool then fail "if condition must be boolean";
+    List.iter (check_stmt env in_loop) t;
+    List.iter (check_stmt env in_loop) e
+  | Sync -> ()
+  | Return -> ()
+
+let check (k : kernel) : unit =
+  let env = env_of_kernel k in
+  List.iter (check_stmt env false) k.body

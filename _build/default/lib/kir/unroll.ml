@@ -1,0 +1,91 @@
+(* Loop unrolling (paper section 3.1, third category: dynamic
+   instruction count reduction; Figure 2(c) is the complete unroll).
+
+   [by ~factor] unrolls loops marked with the given selector by
+   [factor]; [complete] fully unrolls a loop with a static trip count,
+   substituting literal induction values — which is what lets the
+   PTX-level optimizer fold array indices into [reg+imm] addressing and
+   erase the induction arithmetic entirely. *)
+
+open Ast
+
+(* Replicate [body] [factor] times inside a wider-stepping loop, with
+   binder renaming so replicated bindings stay unique.  Any remainder
+   iterations run in an epilogue loop. *)
+let unroll_loop (l : loop) (factor : int) : stmt list =
+  if factor <= 1 then [ For l ]
+  else
+    match (static_trip l, l.step) with
+    | Some trip, Int step ->
+      let main_iters = trip / factor in
+      let remainder = trip - (main_iters * factor) in
+      let copy k =
+        let renamed = rename_binders (Printf.sprintf "#u%d" k) l.body in
+        (* The copy's induction value is var + k*step. *)
+        if k = 0 then renamed
+        else subst_var l.var (Bin (Add, Var l.var, Int (k * step))) renamed
+      in
+      let main =
+        if main_iters = 0 then []
+        else
+          [
+            For
+              {
+                l with
+                hi = Bin (Add, l.lo, Int (main_iters * factor * step));
+                step = Int (factor * step);
+                trip = Some main_iters;
+                body = List.concat (List.init factor copy);
+              };
+          ]
+      in
+      let epilogue =
+        if remainder = 0 then []
+        else
+          [
+            For
+              {
+                l with
+                lo = Bin (Add, l.lo, Int (main_iters * factor * step));
+                trip = Some remainder;
+                body = rename_binders "#ue" l.body;
+              };
+          ]
+      in
+      main @ epilogue
+    | _ ->
+      (* Without a static trip count the transformation is still legal
+         with a guarded epilogue, but none of our kernels need it. *)
+      [ For l ]
+
+(* Fully unroll: replace the loop by [trip] renamed copies with the
+   induction variable bound to a literal in each. *)
+let complete_loop (l : loop) : stmt list =
+  match (static_trip l, l.lo, l.step) with
+  | Some trip, Int lo, Int step ->
+    List.concat
+      (List.init trip (fun k ->
+           let renamed = rename_binders (Printf.sprintf "#c%d" k) l.body in
+           Let (l.var ^ Printf.sprintf "#c%d" k, S32, Int (lo + (k * step)))
+           :: subst_var l.var (Var (l.var ^ Printf.sprintf "#c%d" k)) renamed))
+  | _ -> [ For l ]
+
+(* Apply [f] to every loop whose variable satisfies [select], outermost
+   first (the produced statements are not re-visited). *)
+let rec transform_loops (select : string -> bool) (f : loop -> stmt list) (ss : stmt list) :
+    stmt list =
+  List.concat_map
+    (fun s ->
+      match s with
+      | For l when select l.var -> f { l with body = transform_loops select f l.body }
+      | For l -> [ For { l with body = transform_loops select f l.body } ]
+      | If (c, t, e) ->
+        [ If (c, transform_loops select f t, transform_loops select f e) ]
+      | _ -> [ s ])
+    ss
+
+(* Unroll loops named by [select] by [factor]; [factor = 0] means
+   complete unrolling. *)
+let apply ?(select = fun _ -> true) ~factor (k : kernel) : kernel =
+  let f l = if factor = 0 then complete_loop l else unroll_loop l factor in
+  { k with body = transform_loops select f k.body }

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Kir Lexer List Printf String Token

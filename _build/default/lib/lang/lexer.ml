@@ -1,0 +1,201 @@
+(* Hand-written lexer for minicuda.
+
+   C-style: `//` and `/* */` comments, `#pragma unroll [n]` and
+   `#pragma trip n` directives surfaced as tokens so the parser can
+   attach them to the following loop. *)
+
+exception Error of { line : int; msg : string }
+
+let error line msg = raise (Error { line; msg })
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "kernel" -> Some Token.KERNEL
+  | "global" -> Some Token.GLOBAL
+  | "const" -> Some Token.CONST
+  | "shared" -> Some Token.SHARED
+  | "local" -> Some Token.LOCAL
+  | "float" -> Some Token.FLOAT
+  | "int" -> Some Token.INT
+  | "bool" -> Some Token.BOOL
+  | "for" -> Some Token.FOR
+  | "if" -> Some Token.IF
+  | "else" -> Some Token.ELSE
+  | "return" -> Some Token.RETURN
+  | "__syncthreads" -> Some Token.SYNCTHREADS
+  | "true" -> Some Token.TRUE
+  | "false" -> Some Token.FALSE
+  | _ -> None
+
+let peek st k = if st.pos + k < String.length st.src then Some st.src.[st.pos + k] else None
+
+let rec skip_ws st =
+  match peek st 0 with
+  | Some ' ' | Some '\t' | Some '\r' ->
+    st.pos <- st.pos + 1;
+    skip_ws st
+  | Some '\n' ->
+    st.pos <- st.pos + 1;
+    st.line <- st.line + 1;
+    skip_ws st
+  | Some '/' when peek st 1 = Some '/' ->
+    while peek st 0 <> None && peek st 0 <> Some '\n' do
+      st.pos <- st.pos + 1
+    done;
+    skip_ws st
+  | Some '/' when peek st 1 = Some '*' ->
+    st.pos <- st.pos + 2;
+    let rec find () =
+      match (peek st 0, peek st 1) with
+      | Some '*', Some '/' -> st.pos <- st.pos + 2
+      | Some '\n', _ ->
+        st.line <- st.line + 1;
+        st.pos <- st.pos + 1;
+        find ()
+      | Some _, _ ->
+        st.pos <- st.pos + 1;
+        find ()
+      | None, _ -> error st.line "unterminated comment"
+    in
+    find ();
+    skip_ws st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st 0 with Some c -> is_ident_char c | None -> false) do
+    st.pos <- st.pos + 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st : Token.t =
+  let start = st.pos in
+  let seen_dot = ref false in
+  let seen_exp = ref false in
+  let continue_ () =
+    match peek st 0 with
+    | Some c when is_digit c -> true
+    | Some '.' when not !seen_dot ->
+      seen_dot := true;
+      true
+    | Some ('e' | 'E') when not !seen_exp ->
+      seen_exp := true;
+      seen_dot := true;
+      (* also consume an optional sign *)
+      (match peek st 1 with
+      | Some ('+' | '-') -> st.pos <- st.pos + 1
+      | _ -> ());
+      true
+    | _ -> false
+  in
+  while continue_ () do
+    st.pos <- st.pos + 1
+  done;
+  (* optional f suffix *)
+  let text = String.sub st.src start (st.pos - start) in
+  let has_f = peek st 0 = Some 'f' in
+  if has_f then st.pos <- st.pos + 1;
+  if !seen_dot || !seen_exp || has_f then
+    match float_of_string_opt text with
+    | Some f -> Token.FLOAT_LIT (Util.Float32.round f)
+    | None -> error st.line ("bad float literal " ^ text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Token.INT_LIT i
+    | None -> error st.line ("bad integer literal " ^ text)
+
+let lex_pragma st : Token.t =
+  (* '#' already seen *)
+  st.pos <- st.pos + 1;
+  skip_ws st;
+  let word = lex_ident st in
+  if word <> "pragma" then error st.line "expected #pragma";
+  skip_ws st;
+  let directive = lex_ident st in
+  skip_ws st;
+  let num =
+    match peek st 0 with
+    | Some c when is_digit c -> (
+      match lex_number st with
+      | Token.INT_LIT i -> Some i
+      | _ -> error st.line "pragma argument must be an integer")
+    | _ -> None
+  in
+  match (directive, num) with
+  | "unroll", Some n -> Token.UNROLL n
+  | "unroll", None -> Token.UNROLL 0 (* complete *)
+  | "trip", Some n -> Token.TRIP n
+  | "trip", None -> error st.line "#pragma trip requires a count"
+  | d, _ -> error st.line ("unknown pragma " ^ d)
+
+(* Tokenize the whole source; each token is paired with its line for
+   error messages. *)
+let tokenize (src : string) : (Token.t * int) list =
+  let st = { src; pos = 0; line = 1 } in
+  let toks = ref [] in
+  let emit t = toks := (t, st.line) :: !toks in
+  let two c1 c2 t1 t2 =
+    if peek st 1 = Some c2 then begin
+      st.pos <- st.pos + 2;
+      emit t2
+    end
+    else begin
+      st.pos <- st.pos + 1;
+      emit t1
+    end;
+    ignore c1
+  in
+  let rec go () =
+    skip_ws st;
+    match peek st 0 with
+    | None -> emit Token.EOF
+    | Some c ->
+      (match c with
+      | '(' -> st.pos <- st.pos + 1; emit Token.LPAREN
+      | ')' -> st.pos <- st.pos + 1; emit Token.RPAREN
+      | '{' -> st.pos <- st.pos + 1; emit Token.LBRACE
+      | '}' -> st.pos <- st.pos + 1; emit Token.RBRACE
+      | '[' -> st.pos <- st.pos + 1; emit Token.LBRACKET
+      | ']' -> st.pos <- st.pos + 1; emit Token.RBRACKET
+      | ',' -> st.pos <- st.pos + 1; emit Token.COMMA
+      | ';' -> st.pos <- st.pos + 1; emit Token.SEMI
+      | '?' -> st.pos <- st.pos + 1; emit Token.QUESTION
+      | ':' -> st.pos <- st.pos + 1; emit Token.COLON
+      | '*' -> st.pos <- st.pos + 1; emit Token.STAR
+      | '/' -> st.pos <- st.pos + 1; emit Token.SLASH
+      | '%' -> st.pos <- st.pos + 1; emit Token.PERCENT
+      | '-' -> st.pos <- st.pos + 1; emit Token.MINUS
+      | '+' -> two '+' '=' Token.PLUS Token.PLUS_EQ
+      | '=' -> two '=' '=' Token.ASSIGN Token.EQEQ
+      | '<' -> two '<' '=' Token.LT Token.LE
+      | '>' -> two '>' '=' Token.GT Token.GE
+      | '!' -> two '!' '=' Token.BANG Token.NEQ
+      | '&' ->
+        if peek st 1 = Some '&' then begin
+          st.pos <- st.pos + 2;
+          emit Token.ANDAND
+        end
+        else error st.line "expected &&"
+      | '|' ->
+        if peek st 1 = Some '|' then begin
+          st.pos <- st.pos + 2;
+          emit Token.OROR
+        end
+        else error st.line "expected ||"
+      | '#' -> emit (lex_pragma st)
+      | c when is_digit c -> emit (lex_number st)
+      | c when is_ident_start c -> (
+        let word = lex_ident st in
+        match keyword word with
+        | Some t -> emit t
+        | None -> emit (Token.IDENT word))
+      | c -> error st.line (Printf.sprintf "unexpected character %C" c));
+      if (match !toks with (Token.EOF, _) :: _ -> false | _ -> true) then go ()
+  in
+  go ();
+  List.rev !toks

@@ -1,0 +1,99 @@
+(* Tokens of the minicuda surface language. *)
+
+type t =
+  | KERNEL
+  | GLOBAL
+  | CONST
+  | SHARED
+  | LOCAL
+  | FLOAT
+  | INT
+  | BOOL
+  | FOR
+  | IF
+  | ELSE
+  | RETURN
+  | SYNCTHREADS
+  | UNROLL of int  (* #pragma unroll n; 0 = complete *)
+  | TRIP of int  (* #pragma trip n *)
+  | IDENT of string
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | TRUE
+  | FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN  (* = *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUS_EQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | QUESTION
+  | COLON
+  | EOF
+
+let to_string = function
+  | KERNEL -> "kernel"
+  | GLOBAL -> "global"
+  | CONST -> "const"
+  | SHARED -> "shared"
+  | LOCAL -> "local"
+  | FLOAT -> "float"
+  | INT -> "int"
+  | BOOL -> "bool"
+  | FOR -> "for"
+  | IF -> "if"
+  | ELSE -> "else"
+  | RETURN -> "return"
+  | SYNCTHREADS -> "__syncthreads"
+  | UNROLL n -> Printf.sprintf "#pragma unroll %d" n
+  | TRIP n -> Printf.sprintf "#pragma trip %d" n
+  | IDENT s -> s
+  | INT_LIT i -> string_of_int i
+  | FLOAT_LIT f -> Printf.sprintf "%g" f
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | PLUS_EQ -> "+="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | EOF -> "<eof>"

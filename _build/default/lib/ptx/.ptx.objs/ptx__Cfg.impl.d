@@ -1,0 +1,1 @@
+lib/ptx/cfg.ml: Array Hashtbl List Printf Prog

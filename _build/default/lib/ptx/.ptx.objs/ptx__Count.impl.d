@@ -1,0 +1,1 @@
+lib/ptx/count.ml: Instr List Prog Reg

@@ -1,0 +1,1 @@
+lib/ptx/instr.ml: List Reg

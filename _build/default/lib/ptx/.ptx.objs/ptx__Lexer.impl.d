@@ -1,0 +1,1 @@
+lib/ptx/lexer.ml: Instr List Printf Reg String

@@ -1,0 +1,1 @@
+lib/ptx/liveness.ml: Array Cfg Instr List Prog Reg

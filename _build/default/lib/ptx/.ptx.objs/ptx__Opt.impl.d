@@ -1,0 +1,1 @@
+lib/ptx/opt.ml: Array Cfg Float Hashtbl Instr List Liveness Prog Reg Util

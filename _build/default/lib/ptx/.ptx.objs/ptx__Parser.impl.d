@@ -1,0 +1,1 @@
+lib/ptx/parser.ml: Array Instr Lexer List Printf Prog Reg String

@@ -1,0 +1,1 @@
+lib/ptx/pp.ml: Buffer Float Format Instr List Printf Prog Reg

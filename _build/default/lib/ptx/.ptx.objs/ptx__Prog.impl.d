@@ -1,0 +1,1 @@
+lib/ptx/prog.ml: Hashtbl Instr List Printf Reg String

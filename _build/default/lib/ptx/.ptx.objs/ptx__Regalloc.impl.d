@@ -1,0 +1,1 @@
+lib/ptx/regalloc.ml: Array Cfg Instr List Liveness Prog Reg

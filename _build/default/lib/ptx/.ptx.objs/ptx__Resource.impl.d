@@ -1,0 +1,1 @@
+lib/ptx/resource.ml: Format Prog Regalloc

@@ -1,0 +1,75 @@
+(* Control-flow graph over a kernel's basic blocks.
+
+   Blocks are indexed densely in program order (the entry block is
+   index 0, matching CUDA's single-entry kernels); successor and
+   predecessor arrays are precomputed for the dataflow passes. *)
+
+type t = {
+  kernel : Prog.t;
+  blocks : Prog.block array;
+  index_of : (string, int) Hashtbl.t;
+  succs : int list array;
+  preds : int list array;
+}
+
+let of_kernel (k : Prog.t) : t =
+  let blocks = Array.of_list k.blocks in
+  let n = Array.length blocks in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (b : Prog.block) -> Hashtbl.replace index_of b.label i) blocks;
+  let idx l =
+    match Hashtbl.find_opt index_of l with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Cfg.of_kernel: unknown label %S" l)
+  in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i (b : Prog.block) ->
+      let ss = List.map idx (Prog.term_successors b.term) in
+      (* Deduplicate: a conditional branch may target one block twice. *)
+      let ss = List.sort_uniq compare ss in
+      succs.(i) <- ss;
+      List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+    blocks;
+  { kernel = k; blocks; index_of; succs; preds }
+
+let num_blocks t = Array.length t.blocks
+let block t i = t.blocks.(i)
+let index t label = Hashtbl.find t.index_of label
+let succs t = t.succs
+let preds t = t.preds
+
+(* Reverse-postorder over the CFG from the entry block; the natural
+   iteration order for forward dataflow and for linear-scan numbering. *)
+let reverse_postorder t : int list =
+  let n = num_blocks t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs t.succs.(i);
+      order := i :: !order
+    end
+  in
+  if n > 0 then dfs 0;
+  !order
+
+(* Blocks unreachable from the entry (never produced by our lowering,
+   but the parser accepts arbitrary programs). *)
+let unreachable t : int list =
+  let n = num_blocks t in
+  let reached = Array.make n false in
+  let rec dfs i =
+    if not reached.(i) then begin
+      reached.(i) <- true;
+      List.iter dfs t.succs.(i)
+    end
+  in
+  if n > 0 then dfs 0;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if not reached.(i) then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,117 @@
+(* Static estimation of dynamic execution profile, per thread.
+
+   This reproduces the paper's workflow of section 4: dump PTX, annotate
+   loop trip counts, and statically derive
+
+   - [instr]:   dynamic instructions executed per thread (the paper's
+                Instr; e.g. 15150 for the unrolled 4k matmul kernel);
+   - [regions]: the number of instruction intervals delimited by
+                blocking instructions or kernel start/end (769 for the
+                same kernel).  Blocking instructions are barriers and
+                long-latency (global/texture) loads; *sequences of
+                independent long-latency loads count as one unit*.
+
+   Instead of manual annotation, our lowering records each basic
+   block's expected executions per thread as [Prog.block.weight], so
+   the estimate is a weighted sum over blocks. *)
+
+type profile = {
+  instr : float;  (* dynamic instructions per thread (incl. branches, barriers) *)
+  regions : float;  (* paper's Regions term (see [effective_events]) *)
+  mem_bar_events : float;  (* blocking events from loads + barriers *)
+  sfu_events : float;  (* blocking events from SFU instruction runs *)
+  sfu : float;  (* dynamic SFU instructions per thread *)
+  mem : float;  (* dynamic memory instructions per thread *)
+  global_bytes : float;  (* off-chip bytes transferred per thread *)
+  barriers : float;  (* dynamic barriers per thread *)
+}
+
+(* Count blocking events inside one block body, separately for
+   memory/barrier events and for SFU-instruction events.
+
+   A "run" of long-latency instructions stays open as long as
+   subsequent instructions do not consume any register produced inside
+   the run; address arithmetic between loads keeps a run open, a use of
+   a produced value (or a barrier) closes it.  This implements the
+   paper's "sequences of independent, long-latency loads are considered
+   a unit".  SFU instructions are counted with the same run-collapsing
+   rule but reported separately: per the paper they only block "when
+   longer latency operations are not present", which is decided by the
+   metrics layer. *)
+let blocking_events_in_body (body : Instr.t list) : int * int =
+  let mem_events = ref 0 in
+  let sfu_events = ref 0 in
+  (* Current run: [None], [Some `Mem], or [Some `Sfu]. *)
+  let in_run = ref None in
+  let pending = ref Reg.Set.empty in
+  let close () =
+    in_run := None;
+    pending := Reg.Set.empty
+  in
+  List.iter
+    (fun i ->
+      let uses_pending = List.exists (fun r -> Reg.Set.mem r !pending) (Instr.uses i) in
+      let open_run kind counter =
+        if uses_pending || !in_run <> Some kind then begin
+          if uses_pending || !in_run <> None then close ();
+          incr counter;
+          in_run := Some kind
+        end;
+        match Instr.def i with
+        | Some d -> pending := Reg.Set.add d !pending
+        | None -> ()
+      in
+      if Instr.is_barrier i then begin
+        close ();
+        incr mem_events
+      end
+      else if Instr.is_long_latency_mem i then open_run `Mem mem_events
+      else if Instr.is_sfu i then open_run `Sfu sfu_events
+      else if uses_pending then close ())
+    body;
+  (!mem_events, !sfu_events)
+
+(* The paper's Regions denominator: barriers and long-latency loads
+   always delimit regions; SFU runs count only when they are the
+   dominant long-latency behaviour of the kernel (CP and MRI-FHD, whose
+   inner loops touch no off-chip memory). *)
+let effective_events ~mem_bar ~sfu = if sfu > mem_bar then mem_bar +. sfu else mem_bar
+
+let profile_of (k : Prog.t) : profile =
+  let instr = ref 0.0 in
+  let mem_ev = ref 0.0 in
+  let sfu_ev = ref 0.0 in
+  let sfu = ref 0.0 in
+  let mem = ref 0.0 in
+  let bytes = ref 0.0 in
+  let barriers = ref 0.0 in
+  List.iter
+    (fun (b : Prog.block) ->
+      let w = b.weight in
+      (* The terminator is an instruction too (branches execute). *)
+      instr := !instr +. (w *. float_of_int (List.length b.body + 1));
+      let me, se = blocking_events_in_body b.body in
+      mem_ev := !mem_ev +. (w *. float_of_int me);
+      sfu_ev := !sfu_ev +. (w *. float_of_int se);
+      List.iter
+        (fun i ->
+          if Instr.is_sfu i then sfu := !sfu +. w;
+          if Instr.is_mem i then mem := !mem +. w;
+          if Instr.is_barrier i then barriers := !barriers +. w;
+          bytes := !bytes +. (w *. float_of_int (Instr.global_bytes i)))
+        b.body)
+    k.blocks;
+  {
+    instr = !instr;
+    regions = effective_events ~mem_bar:!mem_ev ~sfu:!sfu_ev +. 1.0;
+    mem_bar_events = !mem_ev;
+    sfu_events = !sfu_ev;
+    sfu = !sfu;
+    mem = !mem;
+    global_bytes = !bytes;
+    barriers = !barriers;
+  }
+
+(* Fraction of the dynamic instruction stream that is memory
+   operations — the paper's quick bandwidth-limit screen (section 4). *)
+let mem_fraction p = if p.instr = 0.0 then 0.0 else p.mem /. p.instr

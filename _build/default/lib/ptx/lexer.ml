@@ -1,0 +1,196 @@
+(* Hand-written lexer for the textual PTX-like syntax.
+
+   Menhir/ocamllex are deliberately not used: the grammar is regular
+   enough for a small hand lexer, and the repository carries no
+   generated-code build steps. *)
+
+type token =
+  | IDENT of string  (* possibly dotted: [mov.s32], [BB0], [x] *)
+  | REG of Reg.t  (* %f1 / %r2 / %p3 *)
+  | SPECIAL of Instr.special  (* %tid.x ... *)
+  | PARAM of string  (* $name *)
+  | INT of int
+  | FLOAT of float
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | PLUS
+  | AT
+  | BANG
+  | DIRECTIVE of string  (* .kernel, .param, .weight, ... (leading dot) *)
+  | EOF
+
+exception Error of { pos : int; msg : string }
+
+let error pos msg = raise (Error { pos; msg })
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "IDENT %s" s
+  | REG r -> Reg.to_string r
+  | SPECIAL s -> Instr.special_to_string s
+  | PARAM p -> "$" ^ p
+  | INT i -> string_of_int i
+  | FLOAT f -> Printf.sprintf "%h" f
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | PLUS -> "+"
+  | AT -> "@"
+  | BANG -> "!"
+  | DIRECTIVE d -> "." ^ d
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let specials_by_name =
+  List.map (fun s -> (Instr.special_to_string s, s)) Instr.all_specials
+
+(* Tokenize a whole string.  Comments run from [//] to end of line. *)
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '[' then (emit LBRACKET; incr i)
+    else if c = ']' then (emit RBRACKET; incr i)
+    else if c = '(' then (emit LPAREN; incr i)
+    else if c = ')' then (emit RPAREN; incr i)
+    else if c = '{' then (emit LBRACE; incr i)
+    else if c = '}' then (emit RBRACE; incr i)
+    else if c = ',' then (emit COMMA; incr i)
+    else if c = ';' then (emit SEMI; incr i)
+    else if c = ':' then (emit COLON; incr i)
+    else if c = '+' then (emit PLUS; incr i)
+    else if c = '@' then (emit AT; incr i)
+    else if c = '!' then (emit BANG; incr i)
+    else if c = '$' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      if !j = start then error !i "expected identifier after '$'";
+      emit (PARAM (String.sub src start (!j - start)));
+      i := !j
+    end
+    else if c = '%' then begin
+      (* Register or special. Specials contain a dot: %tid.x *)
+      let start = !i in
+      let j = ref (!i + 1) in
+      while !j < n && (is_ident_char src.[!j] || src.[!j] = '.') do
+        incr j
+      done;
+      let text = String.sub src start (!j - start) in
+      (match List.assoc_opt text specials_by_name with
+      | Some s -> emit (SPECIAL s)
+      | None -> (
+        (* %f12 / %r3 / %p0 *)
+        if String.length text < 3 then error start ("bad register " ^ text);
+        let cls = text.[1] in
+        let num = String.sub text 2 (String.length text - 2) in
+        match (cls, int_of_string_opt num) with
+        | 'f', Some k -> emit (REG (Reg.make Reg.F32 k))
+        | 'r', Some k -> emit (REG (Reg.make Reg.S32 k))
+        | 'p', Some k -> emit (REG (Reg.make Reg.Pred k))
+        | _ -> error start ("bad register " ^ text)));
+      i := !j
+    end
+    else if c = '.' && (match peek 1 with Some d -> is_ident_start d | None -> false) then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      emit (DIRECTIVE (String.sub src start (!j - start)));
+      i := !j
+    end
+    else if is_digit c || (c = '-' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      (* A number: integer, decimal float, or hexadecimal float. *)
+      let start = !i in
+      let j = ref (if c = '-' then !i + 1 else !i) in
+      let is_num_char ch =
+        is_digit ch || ch = '.' || ch = 'x' || ch = 'X' || ch = 'p' || ch = 'P'
+        || (ch >= 'a' && ch <= 'f')
+        || (ch >= 'A' && ch <= 'F')
+      in
+      incr j;
+      let exp_sign ch prev = (ch = '+' || ch = '-') && (prev = 'p' || prev = 'P' || prev = 'e' || prev = 'E') in
+      while
+        !j < n
+        && (is_num_char src.[!j]
+           || exp_sign src.[!j] src.[!j - 1])
+      do
+        incr j
+      done;
+      let text = String.sub src start (!j - start) in
+      let is_float =
+        String.contains text '.' || String.contains text 'p' || String.contains text 'P'
+        ||
+        let is_hex =
+          String.length text > 1
+          && (text.[0] = '0' || text.[0] = '-')
+          && (String.contains text 'x' || String.contains text 'X')
+        in
+        (not is_hex) && (String.contains text 'e' || String.contains text 'E')
+      in
+      if is_float then
+        match float_of_string_opt text with
+        | Some f -> emit (FLOAT f)
+        | None -> error start ("bad float literal " ^ text)
+      else (
+        match int_of_string_opt text with
+        | Some k -> emit (INT k)
+        | None -> (
+          (* Might still be a decimal-exponent float like 1e9. *)
+          match float_of_string_opt text with
+          | Some f -> emit (FLOAT f)
+          | None -> error start ("bad numeric literal " ^ text)));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      (* Identifier, possibly dotted (instruction mnemonics). *)
+      let start = !i in
+      let j = ref !i in
+      while
+        !j < n
+        && (is_ident_char src.[!j]
+           || (src.[!j] = '.'
+              && !j + 1 < n
+              && is_ident_start src.[!j + 1]
+              (* Stop the dotted run before directives like [.weight]:
+                 mnemonic dots only ever join short suffixes, which is
+                 fine — we join all and let the parser split. *)))
+      do
+        incr j
+      done;
+      emit (IDENT (String.sub src start (!j - start)));
+      i := !j
+    end
+    else error !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit EOF;
+  List.rev !toks

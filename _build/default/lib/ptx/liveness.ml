@@ -1,0 +1,78 @@
+(* Classic backward liveness dataflow over the CFG.
+
+   [live_out b] = union of [live_in] of successors;
+   [live_in b]  = use(b) ∪ (live_out(b) \ def(b)).
+
+   Used by dead-code elimination and by the linear-scan register
+   allocator (whose register counts feed the occupancy model, the
+   paper's `-cubin` analogue). *)
+
+type t = { live_in : Reg.Set.t array; live_out : Reg.Set.t array }
+
+(* Per-block (use, def) sets: [use] holds registers read before any
+   write inside the block, [def] holds registers written. *)
+let block_use_def (b : Prog.block) : Reg.Set.t * Reg.Set.t =
+  let use = ref Reg.Set.empty and def = ref Reg.Set.empty in
+  let see_uses rs = List.iter (fun r -> if not (Reg.Set.mem r !def) then use := Reg.Set.add r !use) rs in
+  List.iter
+    (fun i ->
+      see_uses (Instr.uses i);
+      match Instr.def i with Some d -> def := Reg.Set.add d !def | None -> ())
+    b.body;
+  see_uses (Prog.term_uses b.term);
+  (!use, !def)
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.num_blocks cfg in
+  let use = Array.make n Reg.Set.empty in
+  let def = Array.make n Reg.Set.empty in
+  for i = 0 to n - 1 do
+    let u, d = block_use_def (Cfg.block cfg i) in
+    use.(i) <- u;
+    def.(i) <- d
+  done;
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  (* Iterate to a fixed point; postorder makes backward flow converge
+     in few passes. *)
+  let order = List.rev (Cfg.reverse_postorder cfg) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        let out =
+          List.fold_left
+            (fun acc s -> Reg.Set.union acc live_in.(s))
+            Reg.Set.empty (Cfg.succs cfg).(i)
+        in
+        let inn = Reg.Set.union use.(i) (Reg.Set.diff out def.(i)) in
+        if not (Reg.Set.equal out live_out.(i)) then begin
+          live_out.(i) <- out;
+          changed := true
+        end;
+        if not (Reg.Set.equal inn live_in.(i)) then begin
+          live_in.(i) <- inn;
+          changed := true
+        end)
+      order
+  done;
+  { live_in; live_out }
+
+(* Walk a block backwards producing, for each instruction position, the
+   set of registers live *after* that instruction.  Used by DCE and by
+   the allocator's interval construction. *)
+let live_after_each (t : t) (cfg : Cfg.t) (i : int) : Reg.Set.t array =
+  let b = Cfg.block cfg i in
+  let body = Array.of_list b.body in
+  let n = Array.length body in
+  let after = Array.make n Reg.Set.empty in
+  let live = ref (Reg.Set.union t.live_out.(i) (Reg.Set.of_list (Prog.term_uses b.term))) in
+  (* The terminator reads its predicate, so anything the terminator
+     uses is live after the last body instruction. *)
+  for j = n - 1 downto 0 do
+    after.(j) <- !live;
+    (match Instr.def body.(j) with Some d -> live := Reg.Set.remove d !live | None -> ());
+    List.iter (fun r -> live := Reg.Set.add r !live) (Instr.uses body.(j))
+  done;
+  after

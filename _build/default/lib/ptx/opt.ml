@@ -1,0 +1,264 @@
+(* PTX-level scalar optimizations.
+
+   These run after lowering from KIR and are what turns an unrolled
+   loop body into the lean code the paper describes (section 2.3):
+   address computations fold to constants, redundant [mad]s are shared,
+   and dead copies disappear.  All passes are intraprocedural and, with
+   the exception of DCE, block-local.
+
+   Pass order used by [run]: copy-prop → const-fold → cse → dce,
+   iterated to a fixed point (bounded). *)
+
+open Instr
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fold_f2 op a b =
+  match op with
+  | FAdd -> Util.Float32.add a b
+  | FSub -> Util.Float32.sub a b
+  | FMul -> Util.Float32.mul a b
+  | FDiv -> Util.Float32.div a b
+  | FMin -> Util.Float32.min a b
+  | FMax -> Util.Float32.max a b
+
+let fold_f1 op a =
+  match op with
+  | FNeg -> Util.Float32.neg a
+  | FAbs -> Util.Float32.abs a
+  | FSqrt -> Util.Float32.sqrt a
+  | FRsqrt -> Util.Float32.rsqrt a
+  | FRcp -> Util.Float32.rcp a
+  | FSin -> Util.Float32.sin a
+  | FCos -> Util.Float32.cos a
+  | FEx2 -> Util.Float32.round (Float.pow 2.0 a)
+  | FLg2 -> Util.Float32.round (Float.log a /. Float.log 2.0)
+
+let fold_i2 op a b =
+  match op with
+  | IAdd -> Some (a + b)
+  | ISub -> Some (a - b)
+  | IMul -> Some (a * b)
+  | IDiv -> if b = 0 then None else Some (a / b)
+  | IRem -> if b = 0 then None else Some (a mod b)
+  | IMin -> Some (min a b)
+  | IMax -> Some (max a b)
+  | IAnd -> Some (a land b)
+  | IOr -> Some (a lor b)
+  | IXor -> Some (a lxor b)
+  | IShl -> Some (a lsl b)
+  | IShr -> Some (a asr b)
+
+let fold_cmp c compare_result =
+  match c with
+  | CEq -> compare_result = 0
+  | CNe -> compare_result <> 0
+  | CLt -> compare_result < 0
+  | CLe -> compare_result <= 0
+  | CGt -> compare_result > 0
+  | CGe -> compare_result >= 0
+
+(* One instruction, already copy/constant-propagated: try to simplify.
+   Returns a replacement instruction (often a [Mov] of an immediate,
+   which later copy propagation then erases). *)
+let simplify (i : t) : t =
+  match i with
+  | F2 (op, d, Imm_f a, Imm_f b) -> Mov (d, Imm_f (fold_f2 op a b))
+  | F1 (op, d, Imm_f a) -> Mov (d, Imm_f (fold_f1 op a))
+  | Fmad (d, Imm_f a, Imm_f b, Imm_f c) ->
+    Mov (d, Imm_f (Util.Float32.mad a b c))
+  | I2 (op, d, Imm_i a, Imm_i b) -> (
+    match fold_i2 op a b with Some r -> Mov (d, Imm_i r) | None -> i)
+  | Imad (d, Imm_i a, Imm_i b, Imm_i c) -> Mov (d, Imm_i ((a * b) + c))
+  (* Algebraic identities that matter for address arithmetic. *)
+  | I2 (IAdd, d, a, Imm_i 0) | I2 (IAdd, d, Imm_i 0, a) -> Mov (d, a)
+  | I2 (ISub, d, a, Imm_i 0) -> Mov (d, a)
+  | I2 (IMul, d, a, Imm_i 1) | I2 (IMul, d, Imm_i 1, a) -> Mov (d, a)
+  | I2 (IMul, d, _, Imm_i 0) | I2 (IMul, d, Imm_i 0, _) -> Mov (d, Imm_i 0)
+  | Imad (d, a, Imm_i 1, Imm_i 0) -> Mov (d, a)
+  | Imad (d, _, Imm_i 0, c) | Imad (d, Imm_i 0, _, c) -> Mov (d, c)
+  | Imad (d, a, Imm_i 1, c) -> I2 (IAdd, d, a, c)
+  | Imad (d, a, b, Imm_i 0) -> I2 (IMul, d, a, b)
+  | F2 (FAdd, d, a, Imm_f 0.0) | F2 (FAdd, d, Imm_f 0.0, a) -> Mov (d, a)
+  | F2 (FMul, d, a, Imm_f 1.0) | F2 (FMul, d, Imm_f 1.0, a) -> Mov (d, a)
+  | Fmad (d, a, Imm_f 1.0, Imm_f 0.0) -> Mov (d, a)
+  | Fmad (d, a, Imm_f 1.0, c) -> F2 (FAdd, d, a, c)
+  | Fmad (d, a, b, Imm_f 0.0) -> F2 (FMul, d, a, b)
+  | Setp (c, Reg.S32, d, Imm_i a, Imm_i b) ->
+    Mov (d, Imm_i (if fold_cmp c (compare a b) then 1 else 0))
+  | Selp (d, a, _, Imm_i 1) -> Mov (d, a)
+  | Selp (d, _, b, Imm_i 0) -> Mov (d, b)
+  | _ -> i
+
+(* ------------------------------------------------------------------ *)
+(* Block-local copy & constant propagation                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Within a block, [mov d, src] makes [d] an alias for [src] until
+   either is redefined.  Propagating into uses exposes folding and CSE
+   opportunities; the movs themselves die in DCE.  Predicate registers
+   holding [Imm_i 0/1] are treated as constants by [simplify]. *)
+let propagate_block (body : t list) : t list =
+  let env : operand Reg.Tbl.t = Reg.Tbl.create 16 in
+  let kill d =
+    Reg.Tbl.remove env d;
+    (* Any alias whose source was [d] is now stale. *)
+    let stale =
+      Reg.Tbl.fold
+        (fun r src acc -> match src with Reg s when Reg.equal s d -> r :: acc | _ -> acc)
+        env []
+    in
+    List.iter (Reg.Tbl.remove env) stale
+  in
+  let subst o =
+    match o with
+    | Reg r -> ( match Reg.Tbl.find_opt env r with Some v -> v | None -> o)
+    | _ -> o
+  in
+  List.map
+    (fun i ->
+      let i = map_uses subst i in
+      let i = simplify i in
+      (match def i with Some d -> kill d | None -> ());
+      (match i with
+      | Mov (d, src) -> (
+        match src with
+        | Reg s when Reg.equal s d -> ()
+        | Reg _ | Imm_f _ | Imm_i _ | Spec _ | Par _ -> Reg.Tbl.replace env d src)
+      | _ -> ());
+      i)
+    body
+
+(* ------------------------------------------------------------------ *)
+(* Block-local common subexpression elimination                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A pure instruction keyed by (opcode, operands).  Loads are not pure
+   (memory may change); [Mov] is handled by copy propagation. *)
+type key =
+  | KF2 of fop2 * operand * operand
+  | KF1 of fop1 * operand
+  | KFmad of operand * operand * operand
+  | KI2 of iop2 * operand * operand
+  | KImad of operand * operand * operand
+  | KCvtFI of operand
+  | KCvtIF of operand
+  | KSetp of cmp * Reg.ty * operand * operand
+  | KSelp of operand * operand * operand
+  | KPnot of operand
+  | KP2 of pop2 * operand * operand
+
+let key_of (i : t) : (key * Reg.t) option =
+  match i with
+  | F2 (o, d, a, b) -> Some (KF2 (o, a, b), d)
+  | F1 (o, d, a) -> Some (KF1 (o, a), d)
+  | Fmad (d, a, b, c) -> Some (KFmad (a, b, c), d)
+  | I2 (o, d, a, b) -> Some (KI2 (o, a, b), d)
+  | Imad (d, a, b, c) -> Some (KImad (a, b, c), d)
+  | Cvt_f2i (d, a) -> Some (KCvtFI a, d)
+  | Cvt_i2f (d, a) -> Some (KCvtIF a, d)
+  | Setp (c, ty, d, a, b) -> Some (KSetp (c, ty, a, b), d)
+  | Selp (d, a, b, p) -> Some (KSelp (a, b, p), d)
+  | Pnot (d, a) -> Some (KPnot a, d)
+  | P2 (o, d, a, b) -> Some (KP2 (o, a, b), d)
+  | Mov _ | Ld _ | St _ | Bar -> None
+
+let cse_block (body : t list) : t list =
+  let avail : (key, Reg.t) Hashtbl.t = Hashtbl.create 16 in
+  let kill d =
+    (* Remove every available expression mentioning [d] (as source or
+       destination). *)
+    let stale =
+      Hashtbl.fold
+        (fun k r acc ->
+          let mentions =
+            Reg.equal r d
+            ||
+            let ops =
+              match k with
+              | KF2 (_, a, b) | KI2 (_, a, b) | KSetp (_, _, a, b) | KP2 (_, a, b) -> [ a; b ]
+              | KF1 (_, a) | KCvtFI a | KCvtIF a | KPnot a -> [ a ]
+              | KFmad (a, b, c) | KImad (a, b, c) | KSelp (a, b, c) -> [ a; b; c ]
+            in
+            List.exists (function Reg r' -> Reg.equal r' d | _ -> false) ops
+          in
+          if mentions then k :: acc else acc)
+        avail []
+    in
+    List.iter (Hashtbl.remove avail) stale
+  in
+  List.map
+    (fun i ->
+      match key_of i with
+      | Some (k, d) -> (
+        match Hashtbl.find_opt avail k with
+        | Some prev when not (Reg.equal prev d) ->
+          kill d;
+          Mov (d, Reg prev)
+        | _ ->
+          kill d;
+          Hashtbl.replace avail k d;
+          i)
+      | None ->
+        (match def i with Some d -> kill d | None -> ());
+        i)
+    body
+
+(* ------------------------------------------------------------------ *)
+(* Dead code elimination (global, liveness-based)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Instructions with no side effect whose destination is dead are
+   removed.  Loads are conservatively kept only if their result is
+   used (a dead load still costs bandwidth on hardware, but no
+   reasonable compiler emits one — ours may, transiently, after CSE). *)
+let dce (k : Prog.t) : Prog.t =
+  let cfg = Cfg.of_kernel k in
+  let live = Liveness.compute cfg in
+  let blocks =
+    List.mapi
+      (fun bi (b : Prog.block) ->
+        let after = Liveness.live_after_each live cfg bi in
+        let body = Array.of_list b.body in
+        let keep = Array.make (Array.length body) true in
+        Array.iteri
+          (fun j i ->
+            match i with
+            | St _ | Bar -> ()
+            | _ -> (
+              match def i with
+              | Some d -> if not (Reg.Set.mem d after.(j)) then keep.(j) <- false
+              | None -> ()))
+          body;
+        let body' =
+          Array.to_list body
+          |> List.mapi (fun j i -> (j, i))
+          |> List.filter_map (fun (j, i) -> if keep.(j) then Some i else None)
+        in
+        { b with body = body' })
+      k.blocks
+  in
+  { k with blocks }
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let map_blocks f (k : Prog.t) : Prog.t =
+  { k with blocks = List.map (fun (b : Prog.block) -> { b with body = f b.body }) k.blocks }
+
+let one_round (k : Prog.t) : Prog.t =
+  k |> map_blocks propagate_block |> map_blocks cse_block |> dce
+
+(* Run optimization rounds to a fixed point (bounded at 8 rounds; in
+   practice two suffice). *)
+let run (k : Prog.t) : Prog.t =
+  let rec go k n =
+    if n = 0 then k
+    else
+      let k' = one_round k in
+      if Prog.static_size k' = Prog.static_size k && k' = k then k else go k' (n - 1)
+  in
+  go k 8

@@ -1,0 +1,157 @@
+(* Textual syntax for the PTX-like ISA.
+
+   The format is designed to round-trip exactly through [Parser]:
+   float immediates are printed as hexadecimal floating-point literals
+   (lossless), every instruction ends in [;], and terminators are
+   explicit ([jump]/[bra]/[ret]).  [Parser.kernel_of_string] is the
+   inverse, and the round-trip is property-tested. *)
+
+open Instr
+
+let fop2_name = function
+  | FAdd -> "add"
+  | FSub -> "sub"
+  | FMul -> "mul"
+  | FDiv -> "div"
+  | FMin -> "min"
+  | FMax -> "max"
+
+let fop1_name = function
+  | FNeg -> "neg"
+  | FAbs -> "abs"
+  | FSqrt -> "sqrt"
+  | FRsqrt -> "rsqrt"
+  | FRcp -> "rcp"
+  | FSin -> "sin"
+  | FCos -> "cos"
+  | FEx2 -> "ex2"
+  | FLg2 -> "lg2"
+
+let iop2_name = function
+  | IAdd -> "add"
+  | ISub -> "sub"
+  | IMul -> "mul"
+  | IDiv -> "div"
+  | IRem -> "rem"
+  | IMin -> "min"
+  | IMax -> "max"
+  | IAnd -> "and"
+  | IOr -> "or"
+  | IXor -> "xor"
+  | IShl -> "shl"
+  | IShr -> "shr"
+
+let cmp_name = function
+  | CEq -> "eq"
+  | CNe -> "ne"
+  | CLt -> "lt"
+  | CLe -> "le"
+  | CGt -> "gt"
+  | CGe -> "ge"
+
+let pop2_name = function PAnd -> "and" | POr -> "or" | PXor -> "xor"
+
+let space_name = function
+  | Global -> "global"
+  | Shared -> "shared"
+  | Const -> "const"
+  | Local -> "local"
+
+let ty_name = function Reg.F32 -> "f32" | Reg.S32 -> "s32" | Reg.Pred -> "pred"
+
+let float_lit f =
+  (* Hexadecimal float literals round-trip exactly through
+     [float_of_string]. *)
+  if Float.is_integer f && Float.abs f < 1e9 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%h" f
+
+let operand = function
+  | Reg r -> Reg.to_string r
+  | Imm_f f -> float_lit f
+  | Imm_i i -> string_of_int i
+  | Spec s -> special_to_string s
+  | Par p -> "$" ^ p
+
+let addr { base; offset } =
+  if offset = 0 then Printf.sprintf "[%s]" (operand base)
+  else if offset > 0 then Printf.sprintf "[%s+%d]" (operand base) offset
+  else Printf.sprintf "[%s%d]" (operand base) offset
+
+let operand_ty = function
+  | Reg r -> Reg.ty r
+  | Imm_f _ -> Reg.F32
+  | Imm_i _ -> Reg.S32
+  | Spec _ -> Reg.S32
+  | Par _ -> Reg.S32
+
+let instr (i : Instr.t) : string =
+  let s = Printf.sprintf in
+  match i with
+  | Mov (d, a) -> s "mov.%s %s, %s;" (ty_name (Reg.ty d)) (Reg.to_string d) (operand a)
+  | F2 (o, d, a, b) ->
+    s "%s.f32 %s, %s, %s;" (fop2_name o) (Reg.to_string d) (operand a) (operand b)
+  | F1 (o, d, a) -> s "%s.f32 %s, %s;" (fop1_name o) (Reg.to_string d) (operand a)
+  | Fmad (d, a, b, c) ->
+    s "mad.f32 %s, %s, %s, %s;" (Reg.to_string d) (operand a) (operand b) (operand c)
+  | I2 (o, d, a, b) ->
+    s "%s.s32 %s, %s, %s;" (iop2_name o) (Reg.to_string d) (operand a) (operand b)
+  | Imad (d, a, b, c) ->
+    s "mad.s32 %s, %s, %s, %s;" (Reg.to_string d) (operand a) (operand b) (operand c)
+  | Cvt_f2i (d, a) -> s "cvt.s32.f32 %s, %s;" (Reg.to_string d) (operand a)
+  | Cvt_i2f (d, a) -> s "cvt.f32.s32 %s, %s;" (Reg.to_string d) (operand a)
+  | Setp (c, ty, d, a, b) ->
+    s "setp.%s.%s %s, %s, %s;" (cmp_name c) (ty_name ty) (Reg.to_string d) (operand a)
+      (operand b)
+  | Selp (d, a, b, p) ->
+    s "selp.%s %s, %s, %s, %s;" (ty_name (Reg.ty d)) (Reg.to_string d) (operand a) (operand b)
+      (operand p)
+  | Pnot (d, a) -> s "not.pred %s, %s;" (Reg.to_string d) (operand a)
+  | P2 (o, d, a, b) ->
+    s "%s.pred %s, %s, %s;" (pop2_name o) (Reg.to_string d) (operand a) (operand b)
+  | Ld (sp, d, a) ->
+    s "ld.%s.%s %s, %s;" (space_name sp) (ty_name (Reg.ty d)) (Reg.to_string d) (addr a)
+  | St (sp, a, v) -> s "st.%s.%s %s, %s;" (space_name sp) (ty_name (operand_ty v)) (addr a) (operand v)
+  | Bar -> "bar.sync;"
+
+let term (t : Prog.term) : string =
+  match t with
+  | Prog.Jump l -> Printf.sprintf "jump %s;" l
+  | Prog.Br { pred; negate; if_true; if_false; reconv } ->
+    Printf.sprintf "@%s%s bra %s else %s join %s;"
+      (if negate then "!" else "")
+      (Reg.to_string pred) if_true if_false reconv
+  | Prog.Ret -> "ret;"
+
+let ptype = function
+  | Prog.PF32 -> ".f32"
+  | Prog.PS32 -> ".s32"
+  | Prog.PBuf Global -> ".gbuf"
+  | Prog.PBuf Shared -> ".sbuf"
+  | Prog.PBuf Const -> ".cbuf"
+  | Prog.PBuf Local -> ".lbuf"
+
+let weight_lit w =
+  if Float.is_integer w && Float.abs w < 1e15 then Printf.sprintf "%.0f" w
+  else Printf.sprintf "%h" w
+
+let kernel (k : Prog.t) : string =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add ".kernel %s (" k.name;
+  List.iteri
+    (fun i (p : Prog.param) ->
+      if i > 0 then add ", ";
+      add ".param %s %s" (ptype p.pty) p.pname)
+    k.params;
+  add ")\n";
+  add ".smem %d .lmem %d\n{\n" k.smem_words k.lmem_words;
+  List.iter
+    (fun (b : Prog.block) ->
+      add "%s: .weight %s\n" b.label (weight_lit b.weight);
+      List.iter (fun i -> add "  %s\n" (instr i)) b.body;
+      add "  %s\n" (term b.term))
+    k.blocks;
+  add "}\n";
+  Buffer.contents buf
+
+let pp_kernel fmt k = Format.pp_print_string fmt (kernel k)

@@ -1,0 +1,91 @@
+(* Virtual registers of the PTX-like ISA.
+
+   Registers are typed, mirroring PTX's [%f]/[%r]/[%p] classes.  A
+   register is identified by its class and an index; codegen hands out
+   fresh indices per class.  Register *counts* (after allocation) feed
+   the occupancy model: every f32/s32 value occupies one 32-bit register
+   slot on the G80, and we conservatively count predicates as slots too,
+   as ptxas did for this generation. *)
+
+type ty = F32 | S32 | Pred
+
+type t = { ty : ty; idx : int }
+
+let make ty idx =
+  if idx < 0 then invalid_arg "Reg.make: negative index";
+  { ty; idx }
+
+let ty t = t.ty
+let idx t = t.idx
+
+let ty_code = function F32 -> 0 | S32 -> 1 | Pred -> 2
+
+let compare a b =
+  let c = compare (ty_code a.ty) (ty_code b.ty) in
+  if c <> 0 then c else compare a.idx b.idx
+
+let equal a b = a.ty == b.ty && a.idx = b.idx
+let hash t = (t.idx * 4) + ty_code t.ty
+
+let prefix = function F32 -> "%f" | S32 -> "%r" | Pred -> "%p"
+
+let to_string t = Printf.sprintf "%s%d" (prefix t.ty) t.idx
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let pp_ty fmt ty =
+  Format.pp_print_string fmt (match ty with F32 -> "f32" | S32 -> "s32" | Pred -> "pred")
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(* A fresh-register generator, one counter per class. *)
+module Gen = struct
+  type reg = t
+  type t = { mutable f : int; mutable r : int; mutable p : int }
+
+  let create () = { f = 0; r = 0; p = 0 }
+
+  (* Start counters above any register already present, so generated
+     names never collide with an existing program's registers. *)
+  let create_above regs =
+    let g = create () in
+    List.iter
+      (fun reg ->
+        match reg.ty with
+        | F32 -> g.f <- max g.f (reg.idx + 1)
+        | S32 -> g.r <- max g.r (reg.idx + 1)
+        | Pred -> g.p <- max g.p (reg.idx + 1))
+      regs;
+    g
+
+  let fresh g ty : reg =
+    match ty with
+    | F32 ->
+      let i = g.f in
+      g.f <- i + 1;
+      { ty; idx = i }
+    | S32 ->
+      let i = g.r in
+      g.r <- i + 1;
+      { ty; idx = i }
+    | Pred ->
+      let i = g.p in
+      g.p <- i + 1;
+      { ty; idx = i }
+end

@@ -1,0 +1,27 @@
+(* The `-cubin` analogue: static resource usage of a compiled kernel.
+
+   The paper (section 2.3) uses `nvcc -cubin` to obtain registers per
+   thread and shared memory per block, "critical to understanding the
+   performance of the code because an SM runs the number of thread
+   blocks that fit given their local resource usage".  We compute the
+   same quantities from our own allocator and kernel metadata. *)
+
+type t = {
+  regs_per_thread : int;  (* physical 32-bit registers, from linear scan *)
+  smem_bytes_per_block : int;  (* statically declared shared memory *)
+  lmem_bytes_per_thread : int;  (* local (spill) memory *)
+  static_instrs : int;  (* static instruction count incl. terminators *)
+}
+
+let of_kernel (k : Prog.t) : t =
+  let ra = Regalloc.allocate k in
+  {
+    regs_per_thread = ra.reg_count;
+    smem_bytes_per_block = k.smem_words * 4;
+    lmem_bytes_per_thread = k.lmem_words * 4;
+    static_instrs = Prog.static_size k;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "registers/thread: %d, smem/block: %dB, lmem/thread: %dB, static instrs: %d"
+    t.regs_per_thread t.smem_bytes_per_block t.lmem_bytes_per_thread t.static_instrs

@@ -1,0 +1,1 @@
+lib/util/float32.ml: Float Int32

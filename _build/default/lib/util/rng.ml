@@ -1,0 +1,40 @@
+(* Deterministic splitmix64 pseudo-random generator.
+
+   Workload generation must be reproducible across runs and platforms, so
+   we avoid [Random] (whose algorithm is not pinned across OCaml
+   releases) and carry explicit state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(* Uniform in [0, 1). 53 bits of the state word. *)
+let float t =
+  let bits = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bits /. 9007199254740992.0
+
+(* Uniform in [lo, hi). *)
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+
+(* Standard normal via Box-Muller; used for noise-like MRI inputs. *)
+let gaussian t =
+  let u1 = Float.max 1e-12 (float t) in
+  let u2 = float t in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+let split t = create (Int64.to_int (next_int64 t))

@@ -1,0 +1,45 @@
+(* Small numeric helpers shared by the search harness and reports. *)
+
+let sum = Array.fold_left ( +. ) 0.0
+
+let mean a = if Array.length a = 0 then 0.0 else sum a /. float_of_int (Array.length a)
+
+let minimum a = Array.fold_left Float.min Float.infinity a
+let maximum a = Array.fold_left Float.max Float.neg_infinity a
+
+let argmin (f : 'a -> float) (xs : 'a list) : 'a option =
+  match xs with
+  | [] -> None
+  | x :: rest ->
+    let best = ref x and best_v = ref (f x) in
+    List.iter
+      (fun y ->
+        let v = f y in
+        if v < !best_v then begin
+          best := y;
+          best_v := v
+        end)
+      rest;
+    Some !best
+
+let argmax f xs = argmin (fun x -> -.f x) xs
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = Array.copy a in
+    Array.sort compare b;
+    if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+  end
+
+(* Integer ceiling division; used pervasively for grid/wave sizing. *)
+let cdiv a b = (a + b - 1) / b
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+(* Geometric mean of strictly positive values (speedup summaries). *)
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 a /. float_of_int n)

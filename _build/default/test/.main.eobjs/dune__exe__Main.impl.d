@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_apps Test_gpu Test_integration Test_kir Test_lang Test_ptx Test_tuner Test_util

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Float Kir List Option Ptx Tuner

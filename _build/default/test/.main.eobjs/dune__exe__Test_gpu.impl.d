@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Arch Array Device Float Gpu Kir Option Printf Ptx QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Apps Gpu Kir Minicuda Ptx Tuner

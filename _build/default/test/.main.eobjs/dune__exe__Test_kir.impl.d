@@ -1,0 +1,1 @@
+test/test_kir.ml: Alcotest Array Gpu Kir List Ptx QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Gpu Kir List Minicuda Printf Ptx

@@ -1,0 +1,1 @@
+test/test_ptx.ml: Alcotest Array Cfg Count Gpu Instr Lexer List Liveness Opt Parser Pp Printf Prog Ptx QCheck QCheck_alcotest Reg Regalloc Resource Util

@@ -1,0 +1,1 @@
+test/test_tuner.ml: Alcotest Float List Printf Ptx QCheck QCheck_alcotest String Tuner Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Float32 List QCheck QCheck_alcotest Rng Stats Util

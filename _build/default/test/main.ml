@@ -1,0 +1,6 @@
+(* Test runner: aggregates the per-library suites.  `dune runtest`. *)
+
+let () =
+  Alcotest.run "gpuopt"
+    (Test_util.suite @ Test_ptx.suite @ Test_gpu.suite @ Test_kir.suite @ Test_lang.suite
+   @ Test_tuner.suite @ Test_apps.suite @ Test_integration.suite)

@@ -1,0 +1,455 @@
+(* Tests for the KIR kernel language: typechecking, the reference
+   interpreter, each optimization pass (semantic preservation and
+   resource effects), and lowering (differential testing against the
+   interpreter). *)
+
+open Kir.Ast
+
+let t name f = Alcotest.test_case name `Quick f
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Typechecking                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk body =
+  {
+    kname = "k";
+    scalar_params = [ ("n", S32); ("alpha", F32) ];
+    array_params = [ { aname = "A"; aspace = Global } ];
+    shared_decls = [ ("s", 32) ];
+    local_decls = [];
+    body;
+  }
+
+let rejects body =
+  try
+    Kir.Typecheck.check (mk body);
+    false
+  with Kir.Typecheck.Type_error _ -> true
+
+let typecheck_tests =
+  [
+    t "accepts a well-typed kernel" (fun () ->
+        Kir.Typecheck.check
+          (mk
+             [
+               Let ("x", F32, Param "alpha" *: f 2.0);
+               Store ("A", tid_x, v "x");
+               Sync;
+               If (tid_x <: Param "n", [ Store ("s", tid_x, f 0.0) ], []);
+             ]));
+    t "rejects unbound variables" (fun () -> check_b "r" true (rejects [ Let ("x", F32, v "nope") ]));
+    t "rejects mixed int/float arithmetic" (fun () ->
+        check_b "r" true (rejects [ Let ("x", F32, f 1.0 +: i 1) ]));
+    t "rejects type-mismatched declarations" (fun () ->
+        check_b "r" true (rejects [ Let ("x", S32, f 1.0) ]));
+    t "rejects assignment to immutable bindings" (fun () ->
+        check_b "r" true (rejects [ Let ("x", F32, f 1.0); Assign ("x", f 2.0) ]));
+    t "accepts assignment to mutable bindings" (fun () ->
+        Kir.Typecheck.check (mk [ Mut ("x", F32, f 1.0); Assign ("x", f 2.0) ]));
+    t "rejects redeclaration" (fun () ->
+        check_b "r" true (rejects [ Let ("x", F32, f 1.0); Let ("x", F32, f 2.0) ]));
+    t "rejects stores to unknown arrays" (fun () ->
+        check_b "r" true (rejects [ Store ("nope", i 0, f 1.0) ]));
+    t "rejects stores to constant memory" (fun () ->
+        let k =
+          {
+            (mk [ Store ("T", i 0, f 1.0) ]) with
+            array_params = [ { aname = "T"; aspace = Const } ];
+          }
+        in
+        check_b "r" true
+          (try
+             Kir.Typecheck.check k;
+             false
+           with Kir.Typecheck.Type_error _ -> true));
+    t "rejects non-boolean conditions" (fun () ->
+        check_b "r" true (rejects [ If (i 1, [], []) ]));
+    t "rejects float array indices" (fun () ->
+        check_b "r" true (rejects [ Let ("x", F32, Ld ("A", f 1.0)) ]));
+    t "rejects non-positive or non-literal loop steps" (fun () ->
+        check_b "r" true
+          (rejects [ For { var = "j"; lo = i 0; hi = i 4; step = i 0; trip = None; body = [] } ]);
+        check_b "r" true
+          (rejects
+             [ For { var = "j"; lo = i 0; hi = i 4; step = Param "n"; trip = None; body = [] } ]));
+    t "rejects transcendentals on integers" (fun () ->
+        check_b "r" true (rejects [ Let ("x", F32, Un (Sqrt, i 4)) ]));
+    t "rejects select with disagreeing arms" (fun () ->
+        check_b "r" true (rejects [ Let ("x", F32, Select (Bool true, f 1.0, i 1)) ]));
+    t "rejects shadowing a parameter" (fun () ->
+        check_b "r" true (rejects [ Let ("n", S32, i 1) ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Static trip counts                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let trip_tests =
+  [
+    t "derived from literal bounds" (fun () ->
+        let l = { var = "j"; lo = i 0; hi = i 10; step = i 3; trip = None; body = [] } in
+        check_b "trip" true (static_trip l = Some 4));
+    t "annotation wins when present" (fun () ->
+        let l = { var = "j"; lo = i 0; hi = tid_x; step = i 1; trip = Some 7; body = [] } in
+        check_b "trip" true (static_trip l = Some 7));
+    t "unknown without literals or annotation" (fun () ->
+        let l = { var = "j"; lo = i 0; hi = tid_x; step = i 1; trip = None; body = [] } in
+        check_b "trip" true (static_trip l = None));
+    t "empty range has trip zero" (fun () ->
+        let l = { var = "j"; lo = i 5; hi = i 5; step = i 1; trip = None; body = [] } in
+        check_b "trip" true (static_trip l = Some 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential execution harness                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a kernel through (a) the reference interpreter and (b) lowering
+   + PTX optimization + the simulator; compare the output buffer
+   bit-for-bit. *)
+let differential ?(grid = (2, 1)) ?(block = (32, 1)) ?(words = 256) (k : kernel)
+    ~(extra_args : Gpu.Device.t -> (string * Gpu.Sim.arg) list) : bool =
+  let run use_interp =
+    let d = Gpu.Device.create () in
+    let out = Gpu.Device.alloc d words in
+    let args = (("O", Gpu.Sim.Buf out) :: extra_args d : (string * Gpu.Sim.arg) list) in
+    if use_interp then Kir.Interp.run d k ~grid ~block ~args
+    else begin
+      let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
+      ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional d { Gpu.Sim.kernel = ptx; grid; block; args })
+    end;
+    Gpu.Device.of_device d out
+  in
+  let a = run true and b = run false in
+  Array.for_all2 (fun x y -> Util.Float32.equal_bits x y) a b
+
+let no_extra (_ : Gpu.Device.t) : (string * Gpu.Sim.arg) list = []
+
+(* A kernel exercising most constructs. *)
+let rich_kernel =
+  {
+    kname = "rich";
+    scalar_params = [ ("alpha", F32) ];
+    array_params = [ { aname = "O"; aspace = Global } ];
+    shared_decls = [ ("buf", 64) ];
+    local_decls = [ ("scratch", 2) ];
+    body =
+      [
+        Let ("gid", S32, (bid_x *: bdim_x) +: tid_x);
+        Mut ("acc", F32, f 0.0);
+        Store ("scratch", i 0, Un (ToF, v "gid"));
+        for_ "j" (i 0) (i 8)
+          [
+            Let ("w", F32, Un (ToF, v "j" +: v "gid"));
+            Assign ("acc", v "acc" +: (v "w" *: Param "alpha"));
+          ];
+        Store ("buf", tid_x %: i 64, v "acc");
+        Sync;
+        Let ("other", F32, Ld ("buf", (tid_x +: i 7) %: i 64));
+        If
+          ( Bin (Rem, v "gid", i 3) =: i 0,
+            [ Assign ("acc", v "acc" +: Un (Sqrt, Un (Abs, v "other")) +: Ld ("scratch", i 0)) ],
+            [ Assign ("acc", Select (v "acc" <: f 10.0, v "acc" -: f 1.0, v "other")) ] );
+        Store ("O", v "gid", v "acc");
+      ];
+  }
+
+let interp_tests =
+  [
+    t "interpreter matches simulator on a rich kernel" (fun () ->
+        check_b "differential" true
+          (differential rich_kernel ~extra_args:(fun _ -> [ ("alpha", Gpu.Sim.F 1.5) ])));
+    t "barrier with early-exited threads completes (CUDA-permissive)" (fun () ->
+        (* Threads >= 16 exit before the barrier; the rest must still be
+           released — the same semantics the timing simulator uses. *)
+        let k =
+          {
+            rich_kernel with
+            kname = "divsync";
+            scalar_params = [];
+            shared_decls = [ ("buf", 64) ];
+            local_decls = [];
+            body =
+              [
+                If (tid_x >=: i 16, [ Return ], []);
+                Sync;
+                Store ("O", tid_x, f 1.0);
+              ];
+          }
+        in
+        check_b "diff" true
+          (differential ~grid:(1, 1) ~block:(32, 1) ~words:64 k ~extra_args:no_extra));
+    t "interpreter bounds-checks shared arrays" (fun () ->
+        let k =
+          {
+            rich_kernel with
+            kname = "oob";
+            scalar_params = [];
+            local_decls = [];
+            body = [ Store ("buf", i 99, f 1.0) ];
+          }
+        in
+        let d = Gpu.Device.create () in
+        let out = Gpu.Device.alloc d 4 in
+        check_b "raises" true
+          (try
+             Kir.Interp.run d k ~grid:(1, 1) ~block:(32, 1) ~args:[ ("O", Gpu.Sim.Buf out) ];
+             false
+           with Kir.Interp.Runtime_error _ -> true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Transformations: semantic preservation + resource effects           *)
+(* ------------------------------------------------------------------ *)
+
+(* The canonical tiled-loop kernel the passes target. *)
+let tiled_kernel =
+  {
+    kname = "tiled";
+    scalar_params = [];
+    array_params = [ { aname = "X"; aspace = Global }; { aname = "O"; aspace = Global } ];
+    shared_decls = [ ("tile", 32) ];
+    local_decls = [];
+    body =
+      [
+        Mut ("acc", F32, f 0.0);
+        for_ "tb" (i 0) (i 4)
+          [
+            Let ("x", F32, Ld ("X", (v "tb" *: i 32) +: tid_x));
+            Store ("tile", tid_x, v "x");
+            Sync;
+            for_ "k" (i 0) (i 32) [ Assign ("acc", v "acc" +: Ld ("tile", v "k")) ];
+            Sync;
+          ];
+        Store ("O", tid_x, v "acc");
+      ];
+  }
+
+let x_data d =
+  let x = Gpu.Device.alloc d 128 in
+  let rng = Util.Rng.create 5 in
+  Gpu.Device.to_device d x
+    (Array.init 128 (fun _ -> Util.Float32.round (Util.Rng.float_range rng (-1.0) 1.0)));
+  [ ("X", Gpu.Sim.Buf x) ]
+
+let regs_of k = (Ptx.Resource.of_kernel (Ptx.Opt.run (Kir.Lower.lower k))).regs_per_thread
+let instr_of k = (Ptx.Count.profile_of (Ptx.Opt.run (Kir.Lower.lower k))).instr
+
+let pass_tests =
+  [
+    t "unroll x2 preserves semantics" (fun () ->
+        let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor:2 tiled_kernel in
+        check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:x_data));
+    t "unroll with remainder (factor 3 on trip 32) preserves semantics" (fun () ->
+        let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor:3 tiled_kernel in
+        check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:x_data));
+    t "complete unroll preserves semantics" (fun () ->
+        let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor:0 tiled_kernel in
+        check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:x_data));
+    t "unrolling reduces dynamic instructions" (fun () ->
+        let u4 = Kir.Unroll.apply ~select:(String.equal "k") ~factor:4 tiled_kernel in
+        check_b "fewer" true (instr_of u4 < instr_of tiled_kernel));
+    t "complete unroll minimizes dynamic instructions" (fun () ->
+        let uc = Kir.Unroll.apply ~select:(String.equal "k") ~factor:0 tiled_kernel in
+        let u4 = Kir.Unroll.apply ~select:(String.equal "k") ~factor:4 tiled_kernel in
+        check_b "least" true (instr_of uc < instr_of u4));
+    t "unroll factor 1 and oversized factors are identity-safe" (fun () ->
+        let k1 = Kir.Unroll.apply ~select:(String.equal "k") ~factor:1 tiled_kernel in
+        check_b "id" true (k1 = tiled_kernel);
+        let k64 = Kir.Unroll.apply ~select:(String.equal "k") ~factor:64 tiled_kernel in
+        check_b "diff" true (differential ~grid:(1, 1) k64 ~extra_args:x_data));
+    t "prefetch matches the tile-loop pattern and preserves semantics" (fun () ->
+        let k, changed = Kir.Prefetch.apply tiled_kernel in
+        check_b "matched" true changed;
+        check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:x_data));
+    t "prefetch increases register pressure (paper sec 3.1)" (fun () ->
+        let k, _ = Kir.Prefetch.apply tiled_kernel in
+        check_b "regs up" true (regs_of k > regs_of tiled_kernel));
+    t "prefetch does not fire without a barrier" (fun () ->
+        let k =
+          {
+            tiled_kernel with
+            body =
+              [
+                Mut ("acc", F32, f 0.0);
+                for_ "tb" (i 0) (i 4)
+                  [
+                    Let ("x", F32, Ld ("X", (v "tb" *: i 32) +: tid_x));
+                    Assign ("acc", v "acc" +: v "x");
+                  ];
+                Store ("O", tid_x, v "acc");
+              ];
+          }
+        in
+        let _, changed = Kir.Prefetch.apply k in
+        check_b "no match" false changed);
+    t "spill preserves semantics" (fun () ->
+        let k = Kir.Spill.apply ~vars:[ "acc" ] tiled_kernel in
+        check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:x_data));
+    t "spill moves a value to local memory" (fun () ->
+        let k = Kir.Spill.apply ~vars:[ "acc" ] tiled_kernel in
+        let res = Ptx.Resource.of_kernel (Ptx.Opt.run (Kir.Lower.lower k)) in
+        check_b "lmem used" true (res.lmem_bytes_per_thread > 0));
+    t "spilling unknown or boolean vars is a no-op" (fun () ->
+        let k = Kir.Spill.apply ~vars:[ "does_not_exist" ] tiled_kernel in
+        check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:x_data));
+    t "licm hoists invariant prefix lets and preserves semantics" (fun () ->
+        let k =
+          {
+            tiled_kernel with
+            body =
+              [
+                Mut ("acc", F32, f 0.0);
+                for_ "tb" (i 0) (i 4)
+                  [
+                    Let ("inv", F32, Un (ToF, tid_x) *: f 2.0);
+                    Let ("x", F32, Ld ("X", (v "tb" *: i 32) +: tid_x));
+                    Assign ("acc", v "acc" +: (v "x" *: v "inv"));
+                  ];
+                Store ("O", tid_x, v "acc");
+              ];
+          }
+        in
+        let h = Kir.Licm.apply k in
+        (* the invariant let must now precede the loop *)
+        let rec loop_body = function
+          | For l :: _ -> l.body
+          | _ :: tl -> loop_body tl
+          | [] -> []
+        in
+        check_b "hoisted" true
+          (List.length (loop_body h.body) < List.length (loop_body k.body));
+        check_b "diff" true (differential ~grid:(1, 1) h ~extra_args:x_data));
+    t "licm does not hoist loads" (fun () ->
+        let k =
+          {
+            tiled_kernel with
+            body =
+              [
+                Mut ("acc", F32, f 0.0);
+                for_ "tb" (i 0) (i 4)
+                  [
+                    Let ("ld", F32, Ld ("X", tid_x));
+                    Assign ("acc", v "acc" +: v "ld");
+                  ];
+                Store ("O", tid_x, v "acc");
+              ];
+          }
+        in
+        let h = Kir.Licm.apply k in
+        check_b "unchanged" true (h = k));
+    t "rename_binders renames bindings consistently" (fun () ->
+        let ss = [ Let ("x", F32, f 1.0); Store ("O", tid_x, v "x" +: v "outer") ] in
+        match rename_binders "#z" ss with
+        | [ Let ("x#z", _, _); Store (_, _, Bin (Add, Var "x#z", Var "outer")) ] -> ()
+        | _ -> Alcotest.fail "unexpected rename");
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"unroll preserves semantics for any factor (qcheck)" ~count:12
+         QCheck.(int_range 1 9)
+         (fun factor ->
+           let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor tiled_kernel in
+           differential ~grid:(1, 1) k ~extra_args:x_data));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"pass compositions preserve semantics (qcheck)" ~count:8
+         QCheck.(pair (int_range 0 4) bool)
+         (fun (factor, do_prefetch) ->
+           let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor tiled_kernel in
+           let k = if do_prefetch then fst (Kir.Prefetch.apply k) else k in
+           let k = Kir.Spill.apply ~vars:[ "acc" ] k in
+           differential ~grid:(1, 1) k ~extra_args:x_data));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lowering details                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let lower_tests =
+  [
+    t "constant indices fold into [reg+imm] addressing" (fun () ->
+        let k =
+          {
+            kname = "addr";
+            scalar_params = [];
+            array_params = [ { aname = "O"; aspace = Global } ];
+            shared_decls = [];
+            local_decls = [];
+            body =
+              [
+                Let ("base", S32, tid_x *: i 4);
+                Store ("O", v "base" +: i 3, f 1.0);
+                Store ("O", v "base" +: i 7, f 2.0);
+              ];
+          }
+        in
+        let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
+        (* One address computation, two offsets. *)
+        let body = (List.hd ptx.Ptx.Prog.blocks).Ptx.Prog.body in
+        let mads = List.filter (function Ptx.Instr.Imad _ -> true | _ -> false) body in
+        check_i "one addr computation" 1 (List.length mads);
+        let offsets =
+          List.filter_map
+            (function Ptx.Instr.St (_, { offset; _ }, _) -> Some offset | _ -> None)
+            body
+        in
+        check_b "distinct byte offsets" true (List.sort compare offsets = [ 12; 28 ]));
+    t "accumulation lowers to a single mad" (fun () ->
+        let k =
+          {
+            kname = "mad";
+            scalar_params = [ ("a", F32); ("b", F32) ];
+            array_params = [ { aname = "O"; aspace = Global } ];
+            shared_decls = [];
+            local_decls = [];
+            body =
+              [
+                Mut ("s", F32, f 1.0);
+                Assign ("s", v "s" +: (Param "a" *: Param "b"));
+                Store ("O", tid_x, v "s");
+              ];
+          }
+        in
+        let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
+        let body = (List.hd ptx.Ptx.Prog.blocks).Ptx.Prog.body in
+        check_b "has fmad" true
+          (List.exists (function Ptx.Instr.Fmad _ -> true | _ -> false) body));
+    t "loop weights reflect trip counts" (fun () ->
+        let ptx = Kir.Lower.lower tiled_kernel in
+        let weights = List.map (fun (b : Ptx.Prog.block) -> b.weight) ptx.Ptx.Prog.blocks in
+        (* inner loop body executes 4 * 32 = 128 times per thread *)
+        check_b "128 present" true (List.mem 128.0 weights));
+    t "lowered kernels always validate" (fun () ->
+        List.iter
+          (fun k -> ignore (Ptx.Prog.validate (Kir.Lower.lower k)))
+          [ tiled_kernel; rich_kernel ]);
+    t "shared arrays get disjoint static layout" (fun () ->
+        let k =
+          {
+            kname = "layout";
+            scalar_params = [];
+            array_params = [ { aname = "O"; aspace = Global } ];
+            shared_decls = [ ("a", 16); ("b", 16) ];
+            local_decls = [];
+            body =
+              [
+                Store ("a", tid_x %: i 16, f 1.0);
+                Store ("b", tid_x %: i 16, f 2.0);
+                Sync;
+                Store ("O", tid_x, Ld ("a", tid_x %: i 16) +: Ld ("b", tid_x %: i 16));
+              ];
+          }
+        in
+        check_i "total smem words" 32 (Kir.Lower.lower k).Ptx.Prog.smem_words;
+        check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:no_extra));
+  ]
+
+let suite =
+  [
+    ("kir.typecheck", typecheck_tests);
+    ("kir.trip", trip_tests);
+    ("kir.interp", interp_tests);
+    ("kir.passes", pass_tests);
+    ("kir.lower", lower_tests);
+  ]

@@ -1,0 +1,268 @@
+(* Tests for the paper's contribution: the efficiency/utilization
+   metrics (Eqs. 1-2, including the paper's worked example), Pareto
+   frontier extraction, and the pruned-search driver. *)
+
+let t name f = Alcotest.test_case name `Quick f
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_tests =
+  [
+    t "paper worked example (sec 4): matmul 4k, complete unroll" (fun () ->
+        (* Instr = 15150, Regions = 769, Threads = 2^24, W_TB = 8,
+           B_SM = 2  =>  Efficiency = 3.93e-12, Utilization ~ 227. *)
+        let m =
+          Tuner.Metrics.compute ~instr:15150.0 ~regions:769.0
+            ~threads:(Float.pow 2.0 24.0) ~warps_per_block:8 ~blocks_per_sm:2
+        in
+        check_b "efficiency 3.93e-12" true
+          (Float.abs ((m.efficiency /. 3.93e-12) -. 1.0) < 0.01);
+        check_b "utilization ~227" true (Float.abs (m.utilization -. 227.0) < 1.0));
+    t "efficiency halves when instructions double" (fun () ->
+        let m i =
+          (Tuner.Metrics.compute ~instr:i ~regions:10.0 ~threads:1000.0 ~warps_per_block:4
+             ~blocks_per_sm:2)
+            .efficiency
+        in
+        check_b "inverse" true (Float.abs ((m 100.0 /. m 200.0) -. 2.0) < 1e-9));
+    t "utilization grows with independent warps" (fun () ->
+        let u b =
+          (Tuner.Metrics.compute ~instr:100.0 ~regions:10.0 ~threads:1.0 ~warps_per_block:4
+             ~blocks_per_sm:b)
+            .utilization
+        in
+        check_b "monotone" true (u 1 < u 2 && u 2 < u 4);
+        (* bracket term: (4-1)/2 + (B-1)*4 *)
+        check_b "B=1" true (Float.abs (u 1 -. (100.0 /. 10.0 *. 1.5)) < 1e-9);
+        check_b "B=2" true (Float.abs (u 2 -. (100.0 /. 10.0 *. 5.5)) < 1e-9));
+    t "degenerate inputs give zero, not exceptions" (fun () ->
+        let m =
+          Tuner.Metrics.compute ~instr:0.0 ~regions:0.0 ~threads:0.0 ~warps_per_block:0
+            ~blocks_per_sm:0
+        in
+        check_b "finite" true (m.efficiency = 0.0 && m.utilization = 0.0));
+    t "normalize scales each axis to max 1" (fun () ->
+        let ms =
+          Tuner.Metrics.
+            [
+              { efficiency = 1.0; utilization = 50.0 };
+              { efficiency = 4.0; utilization = 200.0 };
+            ]
+        in
+        match Tuner.Metrics.normalize ms with
+        | [ a; b ] ->
+          check_b "a" true (a.efficiency = 0.25 && a.utilization = 0.25);
+          check_b "b" true (b.efficiency = 1.0 && b.utilization = 1.0)
+        | _ -> Alcotest.fail "length");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pareto                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pt x y = { Tuner.Pareto.x; y }
+let coords (p : Tuner.Pareto.point) = (p.x, p.y)
+
+let random_points seed n =
+  let rng = Util.Rng.create seed in
+  List.init n (fun _ -> pt (Util.Rng.float rng) (Util.Rng.float rng))
+
+let pareto_tests =
+  [
+    t "frontier of a staircase" (fun () ->
+        let pts = [ pt 1.0 3.0; pt 2.0 2.0; pt 3.0 1.0; pt 1.5 1.5 ] in
+        let f = Tuner.Pareto.frontier_points pts in
+        check_i "three survive" 3 (List.length f);
+        check_b "dominated point gone" true (not (List.mem (pt 1.5 1.5) f)));
+    t "a single point is its own frontier" (fun () ->
+        check_i "one" 1 (List.length (Tuner.Pareto.frontier_points [ pt 0.5 0.5 ])));
+    t "identical points survive together (paper's clusters)" (fun () ->
+        let pts = [ pt 1.0 1.0; pt 1.0 1.0; pt 1.0 1.0; pt 0.5 0.5 ] in
+        check_i "cluster kept" 3 (List.length (Tuner.Pareto.frontier_points pts)));
+    t "same x, lower y is dominated" (fun () ->
+        let f = Tuner.Pareto.frontier_points [ pt 1.0 2.0; pt 1.0 1.0 ] in
+        check_b "only the top" true (f = [ pt 1.0 2.0 ]));
+    t "empty input" (fun () -> check_i "empty" 0 (List.length (Tuner.Pareto.frontier_points [])));
+    t "result preserves input order" (fun () ->
+        let pts = [ pt 3.0 1.0; pt 1.0 3.0; pt 2.0 2.0 ] in
+        check_b "order" true (Tuner.Pareto.frontier_points pts = pts));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"frontier contains no dominated point (qcheck)" ~count:200
+         QCheck.(int_range 0 100000)
+         (fun seed ->
+           let pts = random_points seed 60 in
+           let f = Tuner.Pareto.frontier_points pts in
+           List.for_all (fun p -> not (Tuner.Pareto.is_dominated coords f p)) f));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"every excluded point is dominated by the frontier (qcheck)"
+         ~count:200
+         QCheck.(int_range 0 100000)
+         (fun seed ->
+           let pts = random_points seed 60 in
+           let f = Tuner.Pareto.frontier_points pts in
+           List.for_all
+             (fun p -> List.mem p f || Tuner.Pareto.is_dominated coords f p)
+             pts));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"frontier includes the max of each axis (qcheck)" ~count:200
+         QCheck.(int_range 0 100000)
+         (fun seed ->
+           let pts = random_points seed 40 in
+           let f = Tuner.Pareto.frontier_points pts in
+           let max_by proj =
+             List.fold_left (fun a p -> if proj p > proj a then p else a) (List.hd pts) pts
+           in
+           List.exists (fun p -> p.Tuner.Pareto.x = (max_by (fun p -> p.Tuner.Pareto.x)).x) f
+           && List.exists (fun p -> p.Tuner.Pareto.y = (max_by (fun p -> p.Tuner.Pareto.y)).y) f));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"quantized frontier is a superset of the exact one (qcheck)"
+         ~count:200
+         QCheck.(int_range 0 100000)
+         (fun seed ->
+           let pts = random_points seed 50 in
+           let exact = Tuner.Pareto.frontier coords pts in
+           let quant = Tuner.Pareto.frontier_quantized ~resolution:0.05 coords pts in
+           List.for_all (fun p -> List.mem p quant) exact));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Search driver (on synthetic candidates)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Fabricate a candidate whose metrics and runtime we fully control:
+   a one-block dummy kernel plus a closed-form run function. *)
+let dummy_kernel =
+  Ptx.Prog.make ~name:"dummy" ~params:[] ~smem_words:0 ~lmem_words:0
+    [ Ptx.Prog.block "a" [] Ptx.Prog.Ret ]
+
+let fake ~desc ~instr ~regions ~time : Tuner.Candidate.t =
+  let base =
+    Tuner.Candidate.make ~desc ~params:[] ~kernel:dummy_kernel ~threads_per_block:64
+      ~threads_total:6400 ~run:(fun () -> time) ()
+  in
+  (* override the measured profile with the synthetic one *)
+  { base with profile = { base.profile with instr; regions } }
+
+let search_tests =
+  [
+    t "search keeps an optimum that sits on the frontier" (fun () ->
+        (* efficiency ~ 1/instr; utilization ~ instr/regions * const.
+           Make the fast config dominate on both axes. *)
+        let cands =
+          [
+            fake ~desc:"good" ~instr:100.0 ~regions:10.0 ~time:1.0;
+            fake ~desc:"bad" ~instr:400.0 ~regions:100.0 ~time:4.0;
+            fake ~desc:"worse" ~instr:800.0 ~regions:400.0 ~time:8.0;
+          ]
+        in
+        let r = Tuner.Search.run ~app_name:"synthetic" cands in
+        check_b "optimum selected" true r.optimum_selected;
+        check_b "exact" true r.optimum_exact;
+        check_b "best is good" true (r.best.cand.desc = "good"));
+    t "search reports reduction and eval-time bookkeeping" (fun () ->
+        let cands =
+          List.init 20 (fun k ->
+              fake
+                ~desc:(Printf.sprintf "c%d" k)
+                ~instr:(100.0 +. float_of_int (k * 37 mod 200))
+                ~regions:(10.0 +. float_of_int (k * 17 mod 50))
+                ~time:(1.0 +. float_of_int k))
+        in
+        let r = Tuner.Search.run ~app_name:"synthetic" cands in
+        check_i "space" 20 r.space_size;
+        check_b "reduction in [0,1)" true (r.reduction >= 0.0 && r.reduction < 1.0);
+        check_b "full eval time = sum" true
+          (Float.abs (r.full_eval_time -. (20.0 +. (19.0 *. 20.0 /. 2.0))) < 1e-9);
+        check_b "selected time <= full time" true (r.selected_eval_time <= r.full_eval_time));
+    t "invalid candidates are excluded but counted" (fun () ->
+        let invalid =
+          Tuner.Candidate.make ~desc:"huge" ~params:[] ~kernel:dummy_kernel
+            ~threads_per_block:1024 ~threads_total:1024
+            ~run:(fun () -> 0.1)
+            ()
+        in
+        check_b "flagged invalid" false invalid.valid;
+        let r =
+          Tuner.Search.run ~app_name:"synthetic"
+            [ invalid; fake ~desc:"ok" ~instr:10.0 ~regions:2.0 ~time:1.0 ]
+        in
+        check_i "valid" 1 r.space_size;
+        check_i "invalid" 1 r.invalid);
+    t "tune measures only the selected subset" (fun () ->
+        let measured = ref 0 in
+        let counting desc instr regions time =
+          let c = fake ~desc ~instr ~regions ~time in
+          {
+            c with
+            run =
+              (fun () ->
+                incr measured;
+                time);
+          }
+        in
+        let cands =
+          [
+            counting "a" 100.0 10.0 1.0;
+            counting "b" 1000.0 11.0 9.0;
+            (* dominated on both axes *)
+            counting "c" 400.0 300.0 5.0;
+          ]
+        in
+        let best, selected = Tuner.Search.tune ~app_name:"synthetic" cands in
+        check_b "fewer measurements than space" true (!measured = List.length selected);
+        check_b "picked the fast one" true (best.cand.desc = "a"));
+    t "candidate validity mirrors the paper's failure modes" (fun () ->
+        let with_smem words =
+          Tuner.Candidate.make ~desc:"s" ~params:[]
+            ~kernel:
+              (Ptx.Prog.make ~name:"d" ~params:[] ~smem_words:words ~lmem_words:0
+                 [ Ptx.Prog.block "a" [] Ptx.Prog.Ret ])
+            ~threads_per_block:64 ~threads_total:64
+            ~run:(fun () -> 0.0)
+            ()
+        in
+        check_b "smem overflow invalid" false (with_smem 5000).valid;
+        check_b "modest smem valid" true (with_smem 100).valid);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let report_tests =
+  [
+    t "table aligns columns" (fun () ->
+        let s = Tuner.Report.table [ "a"; "bb" ] [ [ "xxx"; "y" ]; [ "z"; "wwww" ] ] in
+        let lines = String.split_on_char '\n' s in
+        let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+        check_b "equal widths" true (List.length (List.sort_uniq compare widths) = 1));
+    t "scatter marks frontier and optimum distinctly" (fun () ->
+        let s =
+          Tuner.Report.scatter
+            [ (0.1, 0.9, Tuner.Report.Dot); (0.9, 0.1, Front); (0.99, 0.99, Best) ]
+        in
+        check_b "has dot" true (String.contains s '.');
+        check_b "has front" true (String.contains s 'o');
+        check_b "has best" true (String.contains s '*'));
+    t "series plot renders without data loss at the edges" (fun () ->
+        let s =
+          Tuner.Report.series_plot ~x_name:"x" ~y_name:"y"
+            [ ("s", [ (0.0, 0.0); (1.0, 1.0) ]) ]
+        in
+        check_b "nonempty" true (String.length s > 0));
+    t "series plot copes with empty input" (fun () ->
+        check_b "no data" true
+          (Tuner.Report.series_plot ~x_name:"x" ~y_name:"y" [] = "(no data)\n"));
+  ]
+
+let suite =
+  [
+    ("tuner.metrics", metrics_tests);
+    ("tuner.pareto", pareto_tests);
+    ("tuner.search", search_tests);
+    ("tuner.report", report_tests);
+  ]

@@ -1,0 +1,166 @@
+(* Tests for the util library: binary32 semantics, deterministic RNG,
+   numeric helpers. *)
+
+open Util
+
+let check_f = Alcotest.(check (float 0.0))
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Float32                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let float32_tests =
+  [
+    t "round is idempotent on representable values" (fun () ->
+        List.iter
+          (fun x -> check_f "round" (Float32.round x) (Float32.round (Float32.round x)))
+          [ 0.0; 1.0; -1.5; 3.14159; 1e30; -1e-30; 0.1 ]);
+    t "round narrows to 24-bit mantissa" (fun () ->
+        (* 1 + 2^-25 is not representable in binary32: rounds to 1. *)
+        check_f "narrow" 1.0 (Float32.round (1.0 +. (2.0 ** -25.0))));
+    t "add rounds the result" (fun () ->
+        (* 2^24 + 1 = 16777217 is not representable: rounds to 2^24. *)
+        check_f "add" 16777216.0 (Float32.add 16777216.0 1.0));
+    t "mad is multiply-then-add, each rounded (not fused)" (fun () ->
+        let a = Float32.round 1.0000001 in
+        check_f "mad=mul;add" (Float32.add (Float32.mul a a) 1.0) (Float32.mad a a 1.0));
+    t "division" (fun () -> check_f "div" 0.5 (Float32.div 1.0 2.0));
+    t "rsqrt" (fun () -> check_f "rsqrt" 0.5 (Float32.rsqrt 4.0));
+    t "rcp" (fun () -> check_f "rcp" 0.25 (Float32.rcp 4.0));
+    t "min/max with ordinary operands" (fun () ->
+        check_f "min" 1.0 (Float32.min 1.0 2.0);
+        check_f "max" 2.0 (Float32.max 1.0 2.0));
+    t "abs and neg" (fun () ->
+        check_f "abs" 2.5 (Float32.abs (-2.5));
+        check_f "neg" (-2.5) (Float32.neg 2.5));
+    t "of_int is exact for small ints" (fun () ->
+        check_f "of_int" 123456.0 (Float32.of_int 123456));
+    t "bits roundtrip" (fun () ->
+        List.iter
+          (fun x ->
+            let x = Float32.round x in
+            check_b "bits" true (Float32.equal_bits x (Float32.of_bits (Float32.to_bits x))))
+          [ 1.5; -0.125; 3.0e7 ]);
+    t "close accepts equal and rejects distant" (fun () ->
+        check_b "equal" true (Float32.close 1.0 1.0);
+        check_b "near" true (Float32.close 1.00001 1.0);
+        check_b "far" false (Float32.close 1.1 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"round is a projection (qcheck)" ~count:500
+         QCheck.(float_range (-1e30) 1e30)
+         (fun x ->
+           let r = Float32.round x in
+           Float32.round r = r));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"add commutes (qcheck)" ~count:500
+         QCheck.(pair (float_range (-1e10) 1e10) (float_range (-1e10) 1e10))
+         (fun (a, b) -> Float32.add a b = Float32.add b a));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_tests =
+  [
+    t "same seed, same stream" (fun () ->
+        let a = Rng.create 42 and b = Rng.create 42 in
+        for _ = 1 to 100 do
+          check_i "int" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    t "different seeds diverge" (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let xs = List.init 20 (fun _ -> Rng.int a 1000000) in
+        let ys = List.init 20 (fun _ -> Rng.int b 1000000) in
+        check_b "diverge" true (xs <> ys));
+    t "int stays in range" (fun () ->
+        let r = Rng.create 7 in
+        for _ = 1 to 1000 do
+          let x = Rng.int r 17 in
+          check_b "range" true (x >= 0 && x < 17)
+        done);
+    t "float stays in [0,1)" (fun () ->
+        let r = Rng.create 7 in
+        for _ = 1 to 1000 do
+          let x = Rng.float r in
+          check_b "range" true (x >= 0.0 && x < 1.0)
+        done);
+    t "float_range respects bounds" (fun () ->
+        let r = Rng.create 9 in
+        for _ = 1 to 500 do
+          let x = Rng.float_range r (-3.0) 5.0 in
+          check_b "range" true (x >= -3.0 && x < 5.0)
+        done);
+    t "gaussian has plausible spread" (fun () ->
+        let r = Rng.create 11 in
+        let n = 5000 in
+        let xs = Array.init n (fun _ -> Rng.gaussian r) in
+        let mean = Stats.mean xs in
+        check_b "mean ~ 0" true (Float.abs mean < 0.1);
+        let var = Stats.mean (Array.map (fun x -> (x -. mean) ** 2.0) xs) in
+        check_b "var ~ 1" true (Float.abs (var -. 1.0) < 0.15));
+    t "split produces an independent stream" (fun () ->
+        let a = Rng.create 3 in
+        let b = Rng.split a in
+        let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+        let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+        check_b "independent" true (xs <> ys));
+    t "int rejects non-positive bound" (fun () ->
+        let r = Rng.create 1 in
+        Alcotest.check_raises "bound" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Rng.int r 0)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_tests =
+  [
+    t "cdiv" (fun () ->
+        check_i "exact" 4 (Stats.cdiv 16 4);
+        check_i "round up" 5 (Stats.cdiv 17 4);
+        check_i "one" 1 (Stats.cdiv 1 4);
+        check_i "zero" 0 (Stats.cdiv 0 4));
+    t "argmin finds the minimum" (fun () ->
+        match Stats.argmin (fun x -> float_of_int ((x - 3) * (x - 3))) [ 0; 1; 2; 3; 4 ] with
+        | Some 3 -> ()
+        | _ -> Alcotest.fail "wrong argmin");
+    t "argmin of empty is None" (fun () ->
+        check_b "none" true (Stats.argmin (fun x -> x) [] = None));
+    t "argmax mirrors argmin" (fun () ->
+        match Stats.argmax float_of_int [ 5; 9; 2 ] with
+        | Some 9 -> ()
+        | _ -> Alcotest.fail "wrong argmax");
+    t "mean / sum" (fun () ->
+        check_f "sum" 10.0 (Stats.sum [| 1.0; 2.0; 3.0; 4.0 |]);
+        check_f "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+        check_f "mean empty" 0.0 (Stats.mean [||]));
+    t "median odd and even" (fun () ->
+        check_f "odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+        check_f "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]));
+    t "clamp" (fun () ->
+        check_i "low" 0 (Stats.clamp 0 9 (-4));
+        check_i "mid" 5 (Stats.clamp 0 9 5);
+        check_i "high" 9 (Stats.clamp 0 9 99));
+    t "min/max over arrays" (fun () ->
+        check_f "min" (-2.0) (Stats.minimum [| 3.0; -2.0; 7.0 |]);
+        check_f "max" 7.0 (Stats.maximum [| 3.0; -2.0; 7.0 |]));
+    t "geomean of powers" (fun () ->
+        check_b "geomean" true (Float.abs (Stats.geomean [| 1.0; 100.0 |] -. 10.0) < 1e-9));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"cdiv is the least sufficient multiple (qcheck)" ~count:500
+         QCheck.(pair (int_range 0 10000) (int_range 1 100))
+         (fun (a, b) ->
+           let c = Stats.cdiv a b in
+           c * b >= a && (c - 1) * b < a));
+  ]
+
+let suite =
+  [
+    ("util.float32", float32_tests); ("util.rng", rng_tests); ("util.stats", stats_tests);
+  ]
