@@ -7,6 +7,8 @@
      bench/main.exe                 -- run everything
      bench/main.exe table1 fig5 ... -- run selected experiments
      bench/main.exe bechamel        -- only the Bechamel suite
+     bench/main.exe --jobs 4 ...    -- parallel candidate measurement
+                                       (same results for any N)
 
    Shape checks (the qualitative claims the reproduction must satisfy)
    are printed as CHECK lines with pass/fail. *)
@@ -20,43 +22,30 @@ let section title =
 
 let check name ok = printf "CHECK %-60s %s\n" name (if ok then "[pass]" else "[FAIL]")
 
+(* Measurement worker domains; set from --jobs before any search is
+   forced.  The search results are identical for every value. *)
+let jobs = ref (Util.Pool.default_jobs ())
+
 (* ------------------------------------------------------------------ *)
 (* Shared search results (computed once, reused by several exhibits)   *)
 (* ------------------------------------------------------------------ *)
 
 let matmul_n = 256
 
+let timed_search name cands =
+  let t0 = Unix.gettimeofday () in
+  let r = Tuner.Search.run ~jobs:!jobs ~app_name:name cands in
+  printf "(%s search: %d configs in %.1fs host time, %d jobs)\n%!" name (r.space_size + r.invalid)
+    (Unix.gettimeofday () -. t0)
+    !jobs;
+  r
+
 let matmul_result =
-  lazy
-    (let t0 = Unix.gettimeofday () in
-     let r = Tuner.Search.run ~app_name:"Matrix Multiplication" (Apps.Matmul.candidates ~n:matmul_n ~max_blocks:8 ()) in
-     printf "(matmul search: %d configs in %.1fs host time)\n%!" (r.space_size + r.invalid)
-       (Unix.gettimeofday () -. t0);
-     r)
+  lazy (timed_search "Matrix Multiplication" (Apps.Matmul.candidates ~n:matmul_n ~max_blocks:8 ()))
 
-let cp_result =
-  lazy
-    (let t0 = Unix.gettimeofday () in
-     let r = Tuner.Search.run ~app_name:"CP" (Apps.Cp.candidates ()) in
-     printf "(cp search: %d configs in %.1fs host time)\n%!" (r.space_size + r.invalid)
-       (Unix.gettimeofday () -. t0);
-     r)
-
-let sad_result =
-  lazy
-    (let t0 = Unix.gettimeofday () in
-     let r = Tuner.Search.run ~app_name:"SAD" (Apps.Sad.candidates ()) in
-     printf "(sad search: %d configs in %.1fs host time)\n%!" (r.space_size + r.invalid)
-       (Unix.gettimeofday () -. t0);
-     r)
-
-let mri_result =
-  lazy
-    (let t0 = Unix.gettimeofday () in
-     let r = Tuner.Search.run ~app_name:"MRI-FHD" (Apps.Mri_fhd.candidates ()) in
-     printf "(mri search: %d configs in %.1fs host time)\n%!" (r.space_size + r.invalid)
-       (Unix.gettimeofday () -. t0);
-     r)
+let cp_result = lazy (timed_search "CP" (Apps.Cp.candidates ()))
+let sad_result = lazy (timed_search "SAD" (Apps.Sad.candidates ()))
+let mri_result = lazy (timed_search "MRI-FHD" (Apps.Mri_fhd.candidates ()))
 
 let all_results () =
   [ Lazy.force matmul_result; Lazy.force mri_result; Lazy.force cp_result; Lazy.force sad_result ]
@@ -552,7 +541,25 @@ let experiments =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse_jobs acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest | "-j" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := j
+      | _ ->
+        printf "--jobs expects a positive integer, got %S\n" n;
+        exit 1);
+      parse_jobs acc rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+      | Some j when j >= 1 -> jobs := j
+      | _ ->
+        printf "--jobs expects a positive integer, got %S\n" a;
+        exit 1);
+      parse_jobs acc rest
+    | a :: rest -> parse_jobs (a :: acc) rest
+  in
+  let args = parse_jobs [] (List.tl (Array.to_list Sys.argv)) in
   let selected =
     if args = [] then List.map fst experiments
     else begin

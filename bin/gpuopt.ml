@@ -29,6 +29,21 @@ let app_conv =
 let app_arg =
   Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Application to search")
 
+let jobs_arg =
+  let doc =
+    "Measurement worker domains. Defaults to the GPUOPT_JOBS environment variable if set, else \
+     one less than the available cores (min 1). Results are identical for every value."
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> Ok j
+      | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt positive_int (Util.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 (* ------------------------------------------------------------------ *)
 
 let arch_cmd =
@@ -63,8 +78,8 @@ let explore_cmd =
     "Exhaustively measure an application's optimization space, then compare against the \
      Pareto-pruned search (paper Table 4 / Figure 6)."
   in
-  let run app =
-    let r = Tuner.Search.run ~app_name:app ((List.assoc app apps) ()) in
+  let run app jobs =
+    let r = Tuner.Search.run ~jobs ~app_name:app ((List.assoc app apps) ()) in
     Printf.printf "%d valid configurations (%d invalid)\n\n" r.space_size r.invalid;
     print_string (Tuner.Report.figure6 r);
     Printf.printf "\n";
@@ -73,16 +88,16 @@ let explore_cmd =
     Printf.printf "pruned search:  %s  (%.4f ms)\n" r.selected_best.cand.desc
       (r.selected_best.time_s *. 1000.0)
   in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ app_arg)
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ app_arg $ jobs_arg)
 
 let tune_cmd =
   let doc =
     "Run the paper's methodology: compile the whole space, compute the static metrics, measure \
      only the Pareto-optimal subset, report the chosen configuration."
   in
-  let run app =
+  let run app jobs =
     let cands = (List.assoc app apps) () in
-    let best, selected = Tuner.Search.tune ~app_name:app cands in
+    let best, selected = Tuner.Search.tune ~jobs ~app_name:app cands in
     Printf.printf "space: %d configurations, measured only %d (%.0f%% pruned)\n"
       (List.length (List.filter (fun (c : Tuner.Candidate.t) -> c.valid) cands))
       (List.length selected)
@@ -97,7 +112,7 @@ let tune_cmd =
       selected;
     Printf.printf "chosen: %s (%.4f ms simulated)\n" best.cand.desc (best.time_s *. 1000.0)
   in
-  Cmd.v (Cmd.info "tune" ~doc) Term.(const run $ app_arg)
+  Cmd.v (Cmd.info "tune" ~doc) Term.(const run $ app_arg $ jobs_arg)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minicuda source file")

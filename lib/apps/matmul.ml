@@ -171,7 +171,10 @@ let candidates ?(n = default_n) ?(max_blocks = 12) () : Tuner.Candidate.t list =
       let kir = kernel ~n cfg in
       let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
       let run () =
-        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) p.dev (launch_of p cfg ptx)).time_s
+        (* Run against a private clone of the staged device: measurement
+           thunks may execute on concurrent domains (Search ~jobs). *)
+        let dev = Gpu.Device.clone p.dev in
+        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s
       in
       Tuner.Candidate.make ~desc:(describe cfg) ~params:(params cfg) ~kernel:ptx
         ~threads_per_block:(cfg.tile * cfg.tile)

@@ -176,7 +176,9 @@ let candidates ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?(max_block
       let kir = kernel ~nsamples ~nvox cfg in
       let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
       let run () =
-        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) p.dev (launch_of p cfg ptx)).time_s
+        (* Private device clone: thunks may run on concurrent domains. *)
+        let dev = Gpu.Device.clone p.dev in
+        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s
       in
       Tuner.Candidate.make ~desc:(describe cfg) ~params:(params cfg) ~kernel:ptx
         ~threads_per_block:cfg.tpb

@@ -227,7 +227,9 @@ let candidates ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?(max_blocks
       let kir = kernel ~w ~h ~sr cfg in
       let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
       let run () =
-        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) p.dev (launch_of p cfg ptx)).time_s
+        (* Private device clone: thunks may run on concurrent domains. *)
+        let dev = Gpu.Device.clone p.dev in
+        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s
       in
       let mbs = w / mb * (h / mb) in
       let chunks = Util.Stats.cdiv nvec (cfg.tpb * cfg.tiling) in

@@ -1,0 +1,117 @@
+(* Measurement engine: the expensive step of the paper's methodology,
+   made parallel and memoized.
+
+   Measuring a configuration means driving the cycle-approximate SM
+   simulator through the candidate's [run] thunk — exactly the cost the
+   pruning methodology exists to avoid paying for the whole space.  The
+   engine adds two things on top of calling the thunk directly:
+
+   - a per-application memoizing cache keyed by the candidate's [desc],
+     so any candidate is simulated at most once per engine no matter
+     how many passes (exhaustive sweep, Pareto subset, reports) ask for
+     its time;
+   - parallel bulk measurement over a [Util.Pool] of domains, with
+     per-candidate host wall-time bookkeeping.
+
+   Determinism: simulated times depend only on the candidate itself
+   (each [run] thunk operates on private state — see the domain-safety
+   audit in DESIGN.md), and [Pool.map] preserves input order, so the
+   results are identical whatever [jobs] is. *)
+
+type measured = { cand : Candidate.t; time_s : float }
+
+type t = {
+  app_name : string;
+  lock : Mutex.t;  (* guards every field below *)
+  cache : (string, float) Hashtbl.t;  (* desc -> simulated seconds *)
+  host : (string, float) Hashtbl.t;  (* desc -> host seconds spent measuring *)
+  mutable runs : int;  (* simulator invocations actually performed *)
+  mutable hits : int;  (* measurements answered from the cache *)
+}
+
+let create ~app_name () =
+  {
+    app_name;
+    lock = Mutex.create ();
+    cache = Hashtbl.create 64;
+    host = Hashtbl.create 64;
+    runs = 0;
+    hits = 0;
+  }
+
+let cached t (c : Candidate.t) : float option =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.cache c.desc)
+
+(* Cached time of an already-measured candidate.  The cache is the
+   single source of truth: asking for a candidate that was never passed
+   through [measure_all] is a caller bug (it would otherwise silently
+   re-run the simulator and double-count evaluation time), so a miss
+   raises instead of re-measuring. *)
+let find_exn t (c : Candidate.t) : float =
+  match Hashtbl.find_opt t.cache c.desc with
+  | Some ts -> ts
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Measure.time_exn: %s: candidate %S was never measured" t.app_name c.desc)
+
+let time_exn t (c : Candidate.t) : float =
+  Mutex.protect t.lock (fun () ->
+      let ts = find_exn t c in
+      t.hits <- t.hits + 1;
+      ts)
+
+(* Measure every candidate of [cands], in parallel over [jobs] domains
+   (default [Pool.default_jobs ()]), skipping those already in the
+   cache.  Returns one [measured] per input, in input order. *)
+let measure_all ?jobs t (cands : Candidate.t list) : measured list =
+  (* Decide what actually needs the simulator before spawning workers;
+     duplicates within one batch collapse to a single run. *)
+  let to_run =
+    Mutex.protect t.lock (fun () ->
+        let batch = Hashtbl.create 16 in
+        List.filter
+          (fun (c : Candidate.t) ->
+            if Hashtbl.mem t.cache c.desc || Hashtbl.mem batch c.desc then begin
+              t.hits <- t.hits + 1;
+              false
+            end
+            else begin
+              Hashtbl.replace batch c.desc ();
+              true
+            end)
+          cands)
+  in
+  let timed =
+    Util.Pool.map ?jobs
+      (fun (c : Candidate.t) ->
+        let t0 = Unix.gettimeofday () in
+        let time_s = c.run () in
+        (c.desc, time_s, Unix.gettimeofday () -. t0))
+      to_run
+  in
+  Mutex.protect t.lock (fun () ->
+      List.iter
+        (fun (desc, time_s, host_s) ->
+          Hashtbl.replace t.cache desc time_s;
+          Hashtbl.replace t.host desc host_s;
+          t.runs <- t.runs + 1)
+        timed;
+      (* Re-read through the cache (not [timed]) so duplicates and
+         previously cached candidates resolve uniformly. *)
+      List.map (fun (c : Candidate.t) -> { cand = c; time_s = find_exn t c }) cands)
+
+(* Bookkeeping accessors. *)
+let runs t = Mutex.protect t.lock (fun () -> t.runs)
+let hits t = Mutex.protect t.lock (fun () -> t.hits)
+
+(* Total host wall-clock seconds spent inside [run] thunks.  Under
+   parallel measurement this is the summed per-worker time, which can
+   exceed elapsed time. *)
+let host_time t =
+  Mutex.protect t.lock (fun () -> Hashtbl.fold (fun _ s acc -> acc +. s) t.host 0.0)
+
+(* Host seconds per measured candidate, sorted slowest-first. *)
+let per_candidate_host t : (string * float) list =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun desc s acc -> (desc, s) :: acc) t.host []
+      |> List.sort (fun (_, a) (_, b) -> compare b a))

@@ -8,7 +8,7 @@
    the optimum stays inside the selected subset, and the selected
    subset is a small fraction of the space. *)
 
-type measured = { cand : Candidate.t; time_s : float }
+type measured = Measure.measured = { cand : Candidate.t; time_s : float }
 
 type result = {
   app_name : string;
@@ -32,12 +32,18 @@ type result = {
 
 let measure (c : Candidate.t) : measured = { cand = c; time_s = c.run () }
 
-let run ~(app_name : string) (cands : Candidate.t list) : result =
+(* [?jobs] is the number of measurement worker domains (default: the
+   GPUOPT_JOBS environment variable, else cores - 1, min 1 — see
+   [Util.Pool.default_jobs]).  The result is identical for every value
+   of [jobs]: measurement order does not affect simulated times, and
+   all orderings in [result] follow the input candidate order. *)
+let run ?jobs ~(app_name : string) (cands : Candidate.t list) : result =
   let valid, invalid = List.partition (fun (c : Candidate.t) -> c.valid) cands in
   if valid = [] then invalid_arg (app_name ^ ": no valid configuration in the space");
   let all = List.map (fun c -> (c, Metrics.of_candidate c)) valid in
+  let engine = Measure.create ~app_name () in
   (* Exhaustive exploration: measure everything. *)
-  let exhaustive = List.map measure valid in
+  let exhaustive = Measure.measure_all ?jobs engine valid in
   let best =
     match Util.Stats.argmin (fun m -> m.time_s) exhaustive with
     | Some b -> b
@@ -50,13 +56,14 @@ let run ~(app_name : string) (cands : Candidate.t list) : result =
   let selected =
     Pareto.frontier_quantized (fun (_, m) -> Metrics.(m.efficiency, m.utilization)) all
   in
-  let time_of =
-    let tbl = Hashtbl.create 64 in
-    List.iter (fun m -> Hashtbl.replace tbl m.cand.Candidate.desc m.time_s) exhaustive;
-    fun (c : Candidate.t) ->
-      match Hashtbl.find_opt tbl c.desc with Some t -> t | None -> (measure c).time_s
+  (* The Pareto subset re-reads the exhaustive measurements from the
+     cache; [time_exn] asserts the hit.  A miss would mean a selected
+     candidate escaped the exhaustive sweep — the old ad-hoc table
+     silently re-measured in that case, double-counting
+     [selected_eval_time]. *)
+  let selected_measured =
+    List.map (fun (c, _) -> { cand = c; time_s = Measure.time_exn engine c }) selected
   in
-  let selected_measured = List.map (fun (c, _) -> { cand = c; time_s = time_of c }) selected in
   let selected_best =
     match Util.Stats.argmin (fun m -> m.time_s) selected_measured with
     | Some b -> b
@@ -88,14 +95,16 @@ let run ~(app_name : string) (cands : Candidate.t list) : result =
 (* Pruned-only search: what a user of the methodology actually runs —
    compile + metrics for the whole space, measurement only for the
    Pareto subset.  Returns the chosen configuration. *)
-let tune ~(app_name : string) (cands : Candidate.t list) : measured * (Candidate.t * Metrics.t) list =
+let tune ?jobs ~(app_name : string) (cands : Candidate.t list) :
+    measured * (Candidate.t * Metrics.t) list =
   let valid = List.filter (fun (c : Candidate.t) -> c.valid) cands in
   if valid = [] then invalid_arg (app_name ^ ": no valid configuration in the space");
   let all = List.map (fun c -> (c, Metrics.of_candidate c)) valid in
   let selected =
     Pareto.frontier_quantized (fun (_, m) -> Metrics.(m.efficiency, m.utilization)) all
   in
-  let measured = List.map (fun (c, _) -> measure c) selected in
+  let engine = Measure.create ~app_name () in
+  let measured = Measure.measure_all ?jobs engine (List.map fst selected) in
   match Util.Stats.argmin (fun m -> m.time_s) measured with
   | Some best -> (best, selected)
   | None -> assert false

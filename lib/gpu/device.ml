@@ -52,6 +52,12 @@ let alloc_const t words =
   t.cst_brk <- t.cst_brk + words;
   b
 
+(* Deep copy: a private memory image with the same buffer addresses.
+   Buffers allocated on the original remain valid on the clone, so a
+   staged problem can be cloned per measurement and kernels launched on
+   the clones from concurrent domains without sharing mutable state. *)
+let clone t = { glob = Array.copy t.glob; glob_brk = t.glob_brk; cst = Array.copy t.cst; cst_brk = t.cst_brk }
+
 let check_bounds (b : buffer) i =
   if i < 0 || i >= b.words then
     invalid_arg (Printf.sprintf "Device: word index %d out of bounds for buffer of %d words" i b.words)

@@ -60,6 +60,9 @@ let fold_cmp c compare_result =
   | CGt -> compare_result > 0
   | CGe -> compare_result >= 0
 
+let is_neg_zero z = z = 0.0 && Float.sign_bit z
+let is_pos_zero z = z = 0.0 && not (Float.sign_bit z)
+
 (* One instruction, already copy/constant-propagated: try to simplify.
    Returns a replacement instruction (often a [Mov] of an immediate,
    which later copy propagation then erases). *)
@@ -81,11 +84,15 @@ let simplify (i : t) : t =
   | Imad (d, _, Imm_i 0, c) | Imad (d, Imm_i 0, _, c) -> Mov (d, c)
   | Imad (d, a, Imm_i 1, c) -> I2 (IAdd, d, a, c)
   | Imad (d, a, b, Imm_i 0) -> I2 (IMul, d, a, b)
-  | F2 (FAdd, d, a, Imm_f 0.0) | F2 (FAdd, d, Imm_f 0.0, a) -> Mov (d, a)
+  (* Signed zero: [x + (+0.0)] is +0.0 when x = -0.0, not x, so only a
+     -0.0 addend is an identity (and only a +0.0 subtrahend).  The OCaml
+     pattern [Imm_f 0.0] matches both zeros, hence the guards. *)
+  | F2 (FAdd, d, a, Imm_f z) when is_neg_zero z -> Mov (d, a)
+  | F2 (FAdd, d, Imm_f z, a) when is_neg_zero z -> Mov (d, a)
+  | F2 (FSub, d, a, Imm_f z) when is_pos_zero z -> Mov (d, a)
   | F2 (FMul, d, a, Imm_f 1.0) | F2 (FMul, d, Imm_f 1.0, a) -> Mov (d, a)
-  | Fmad (d, a, Imm_f 1.0, Imm_f 0.0) -> Mov (d, a)
   | Fmad (d, a, Imm_f 1.0, c) -> F2 (FAdd, d, a, c)
-  | Fmad (d, a, b, Imm_f 0.0) -> F2 (FMul, d, a, b)
+  | Fmad (d, a, b, Imm_f z) when is_neg_zero z -> F2 (FMul, d, a, b)
   | Setp (c, Reg.S32, d, Imm_i a, Imm_i b) ->
     Mov (d, Imm_i (if fold_cmp c (compare a b) then 1 else 0))
   | Selp (d, a, _, Imm_i 1) -> Mov (d, a)
@@ -165,6 +172,15 @@ let key_of (i : t) : (key * Reg.t) option =
   | P2 (o, d, a, b) -> Some (KP2 (o, a, b), d)
   | Mov _ | Ld _ | St _ | Bar -> None
 
+let key_uses (k : key) (d : Reg.t) : bool =
+  let ops =
+    match k with
+    | KF2 (_, a, b) | KI2 (_, a, b) | KSetp (_, _, a, b) | KP2 (_, a, b) -> [ a; b ]
+    | KF1 (_, a) | KCvtFI a | KCvtIF a | KPnot a -> [ a ]
+    | KFmad (a, b, c) | KImad (a, b, c) | KSelp (a, b, c) -> [ a; b; c ]
+  in
+  List.exists (function Reg r' -> Reg.equal r' d | _ -> false) ops
+
 let cse_block (body : t list) : t list =
   let avail : (key, Reg.t) Hashtbl.t = Hashtbl.create 16 in
   let kill d =
@@ -172,19 +188,7 @@ let cse_block (body : t list) : t list =
        destination). *)
     let stale =
       Hashtbl.fold
-        (fun k r acc ->
-          let mentions =
-            Reg.equal r d
-            ||
-            let ops =
-              match k with
-              | KF2 (_, a, b) | KI2 (_, a, b) | KSetp (_, _, a, b) | KP2 (_, a, b) -> [ a; b ]
-              | KF1 (_, a) | KCvtFI a | KCvtIF a | KPnot a -> [ a ]
-              | KFmad (a, b, c) | KImad (a, b, c) | KSelp (a, b, c) -> [ a; b; c ]
-            in
-            List.exists (function Reg r' -> Reg.equal r' d | _ -> false) ops
-          in
-          if mentions then k :: acc else acc)
+        (fun k r acc -> if Reg.equal r d || key_uses k d then k :: acc else acc)
         avail []
     in
     List.iter (Hashtbl.remove avail) stale
@@ -199,7 +203,11 @@ let cse_block (body : t list) : t list =
           Mov (d, Reg prev)
         | _ ->
           kill d;
-          Hashtbl.replace avail k d;
+          (* An instruction whose destination is one of its own operands
+             (e.g. [add f1, f1, f1]) computes its key from the OLD value
+             of [d]; recording it as available would equate it with later
+             occurrences built from the new value. *)
+          if not (key_uses k d) then Hashtbl.replace avail k d;
           i)
       | None ->
         (match def i with Some d -> kill d | None -> ());

@@ -1,0 +1,42 @@
+(* Fixed-size work-stealing domain pool.
+
+   Measurement of a candidate configuration is by far the most
+   expensive step of the tuner (it drives the cycle-approximate
+   simulator), and measurements are independent of each other, so they
+   parallelize across OCaml 5 domains.  The pool owns [jobs] worker
+   domains pulling tasks from a shared mutex/condition-protected queue;
+   [map] is the bulk operation the tuner uses. *)
+
+type t
+
+(* Spawn a pool of [jobs] worker domains ([jobs >= 1]). *)
+val create : jobs:int -> t
+
+(* Number of worker domains. *)
+val size : t -> int
+
+(* Enqueue a task.  Tasks must not raise: an escaping exception kills
+   the worker silently ([map] wraps user functions so this cannot
+   happen).  Raises [Invalid_argument] after [shutdown]. *)
+val submit : t -> (unit -> unit) -> unit
+
+(* Drain the queue, stop the workers and join them.  Idempotent. *)
+val shutdown : t -> unit
+
+(* Worker count used when [?jobs] is omitted: the [GPUOPT_JOBS]
+   environment variable if set to a positive integer, otherwise
+   [Domain.recommended_domain_count () - 1], and never less than 1. *)
+val default_jobs : unit -> int
+
+(* [map ~jobs f xs] is [List.map f xs] computed by [jobs] worker
+   domains.  Guarantees:
+
+   - the result preserves input order;
+   - [jobs:1] (or a singleton/empty list) does not spawn any domain and
+     is literally [List.map f xs], so single-core behavior is
+     bit-identical to the sequential code;
+   - if any application of [f] raises, the first exception in input
+     order is re-raised in the caller after all tasks settle;
+   - [jobs] larger than the list length spawns only as many workers as
+     there are elements. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

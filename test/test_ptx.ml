@@ -600,6 +600,42 @@ let opt_tests =
         let k = straightline [ I.I2 (I.IDiv, rr 0, I.Imm_i 5, I.Imm_i 0) ] [ rr 0 ] in
         check_b "division survives" true
           (List.exists (function I.I2 (I.IDiv, _, _, _) -> true | _ -> false) (body_of k)));
+    t "adding +0.0 is not an identity (signed zero)" (fun () ->
+        (* x + (+0.0) is +0.0 when x = -0.0, so the add must survive;
+           x + (-0.0) is x for every x and may fold away. *)
+        let with_addend z =
+          straightline
+            [
+              I.Ld (I.Global, rf 0, { base = I.Par "A"; offset = 0 });
+              I.F2 (I.FAdd, rf 1, I.Reg (rf 0), I.Imm_f z);
+            ]
+            [ rf 1 ]
+        in
+        check_b "+0.0 addend survives" true
+          (List.exists
+             (function I.F2 (I.FAdd, _, _, _) -> true | _ -> false)
+             (body_of (with_addend 0.0)));
+        check_b "-0.0 addend folds" false
+          (List.exists
+             (function I.F2 (I.FAdd, _, _, _) -> true | _ -> false)
+             (body_of (with_addend (-0.0)))));
+    t "cse does not reuse an expression clobbered by its own destination" (fun () ->
+        (* [add f1, f1, f1] computes 2x into f1; the later textually
+           identical [add f3, f1, f1] computes 4x and must stay. *)
+        let k =
+          straightline
+            [
+              I.Ld (I.Global, rf 1, { base = I.Par "A"; offset = 0 });
+              I.F2 (I.FAdd, rf 1, I.Reg (rf 1), I.Reg (rf 1));
+              I.F2 (I.FAdd, rf 3, I.Reg (rf 1), I.Reg (rf 1));
+            ]
+            [ rf 1; rf 3 ]
+        in
+        let adds =
+          List.length
+            (List.filter (function I.F2 (I.FAdd, _, _, _) -> true | _ -> false) (body_of k))
+        in
+        check_i "both adds survive" 2 adds);
     t "opt terminates (fixed point) and is idempotent" (fun () ->
         let k = Opt.run diamond in
         check_b "idempotent" true (Opt.run k = k));
@@ -815,6 +851,20 @@ let run_buffer (k : Prog.t) : float array =
 
 let opt_preservation_tests =
   [
+    t "regression: inputs that once exposed optimizer miscompilations" (fun () ->
+        (* 1139/3973/13638/15332: x + (+0.0) folded to x (wrong for
+           x = -0.0); 18115/595595: CSE reused an expression whose
+           destination overwrote one of its own operands. *)
+        List.iter
+          (fun seed ->
+            let k = random_executable seed in
+            let before = run_buffer k in
+            let after = run_buffer (Opt.run k) in
+            check_b
+              (Printf.sprintf "seed %d preserved" seed)
+              true
+              (Array.for_all2 Util.Float32.equal_bits before after))
+          [ 1139; 3973; 13638; 15332; 18115; 595595 ]);
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"Opt.run preserves program semantics (qcheck)" ~count:150
          QCheck.(int_range 0 1000000)

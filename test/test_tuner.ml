@@ -3,6 +3,7 @@
    frontier extraction, and the pruned-search driver. *)
 
 let t name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
 let check_b = Alcotest.(check bool)
 let check_i = Alcotest.(check int)
 
@@ -71,6 +72,23 @@ let random_points seed n =
   let rng = Util.Rng.create seed in
   List.init n (fun _ -> pt (Util.Rng.float rng) (Util.Rng.float rng))
 
+(* Duplicates force the cluster-survival paths of the frontier. *)
+let random_points_with_dups seed n =
+  let rng = Util.Rng.create seed in
+  let grid () = float_of_int (Util.Rng.int rng 8) /. 8.0 in
+  List.init n (fun _ -> pt (grid ()) (grid ()))
+
+let shuffle seed xs =
+  let rng = Util.Rng.create seed in
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = Util.Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
 let pareto_tests =
   [
     t "frontier of a staircase" (fun () ->
@@ -127,6 +145,48 @@ let pareto_tests =
            let exact = Tuner.Pareto.frontier coords pts in
            let quant = Tuner.Pareto.frontier_quantized ~resolution:0.05 coords pts in
            List.for_all (fun p -> List.mem p quant) exact));
+    (* Search-correctness properties (seeded through Util.Rng so every
+       run explores the same point sets). *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"no kept point is dominated by ANY input point (qcheck)" ~count:300
+         QCheck.(int_range 0 100000)
+         (fun seed ->
+           let pts = random_points_with_dups seed 50 in
+           let f = Tuner.Pareto.frontier coords pts in
+           List.for_all (fun p -> not (Tuner.Pareto.is_dominated coords pts p)) f));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"every dropped point is dominated by a kept point (qcheck)"
+         ~count:300
+         QCheck.(int_range 0 100000)
+         (fun seed ->
+           let pts = random_points_with_dups seed 50 in
+           let f = Tuner.Pareto.frontier coords pts in
+           (* Count multiplicity: a point kept k times leaves n-k drops. *)
+           let count x xs = List.length (List.filter (( = ) x) xs) in
+           List.for_all
+             (fun p ->
+               count p pts = count p f || Tuner.Pareto.is_dominated coords f p)
+             pts));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"quantized frontier superset holds on clustered inputs (qcheck)"
+         ~count:300
+         QCheck.(int_range 0 100000)
+         (fun seed ->
+           let pts = random_points_with_dups seed 60 in
+           let exact = Tuner.Pareto.frontier coords pts in
+           let quant = Tuner.Pareto.frontier_quantized ~resolution:0.05 coords pts in
+           List.for_all (fun p -> List.mem p quant) exact));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"frontier is invariant under input permutation (qcheck)" ~count:300
+         QCheck.(int_range 0 100000)
+         (fun seed ->
+           let pts = random_points_with_dups seed 40 in
+           let perm = shuffle (seed + 1) pts in
+           let sorted l = List.sort compare l in
+           sorted (Tuner.Pareto.frontier coords pts)
+           = sorted (Tuner.Pareto.frontier coords perm)
+           && sorted (Tuner.Pareto.frontier_quantized ~resolution:0.05 coords pts)
+              = sorted (Tuner.Pareto.frontier_quantized ~resolution:0.05 coords perm)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -193,14 +253,15 @@ let search_tests =
         check_i "valid" 1 r.space_size;
         check_i "invalid" 1 r.invalid);
     t "tune measures only the selected subset" (fun () ->
-        let measured = ref 0 in
+        (* Atomic: measurement thunks may run on worker domains. *)
+        let measured = Atomic.make 0 in
         let counting desc instr regions time =
           let c = fake ~desc ~instr ~regions ~time in
           {
             c with
             run =
               (fun () ->
-                incr measured;
+                Atomic.incr measured;
                 time);
           }
         in
@@ -213,8 +274,86 @@ let search_tests =
           ]
         in
         let best, selected = Tuner.Search.tune ~app_name:"synthetic" cands in
-        check_b "fewer measurements than space" true (!measured = List.length selected);
+        check_b "fewer measurements than space" true (Atomic.get measured = List.length selected);
         check_b "picked the fast one" true (best.cand.desc = "a"));
+    t "search measures each candidate exactly once (cache reuse)" (fun () ->
+        (* Exhaustive sweep + Pareto subset + best lookups must all hit
+           the same cache: one simulator run per candidate, total. *)
+        let runs = Atomic.make 0 in
+        let cands =
+          List.init 12 (fun k ->
+              let c =
+                fake
+                  ~desc:(Printf.sprintf "c%d" k)
+                  ~instr:(100.0 +. float_of_int (k * 53 mod 300))
+                  ~regions:(10.0 +. float_of_int (k * 29 mod 40))
+                  ~time:(1.0 +. float_of_int (k * 7 mod 11))
+              in
+              { c with run = (fun () -> Atomic.incr runs; c.run ()) })
+        in
+        let r = Tuner.Search.run ~jobs:1 ~app_name:"synthetic" cands in
+        check_i "one run per valid candidate" r.space_size (Atomic.get runs);
+        (* The subset's times come from the cache, so summing them can
+           never double-count. *)
+        check_b "selected <= full" true (r.selected_eval_time <= r.full_eval_time));
+    t "measurement cache miss raises instead of silently re-measuring" (fun () ->
+        let a = fake ~desc:"a" ~instr:100.0 ~regions:10.0 ~time:1.0 in
+        let b = fake ~desc:"b" ~instr:200.0 ~regions:20.0 ~time:2.0 in
+        let engine = Tuner.Measure.create ~app_name:"synthetic" () in
+        ignore (Tuner.Measure.measure_all ~jobs:1 engine [ a ]);
+        check_b "hit" true (Tuner.Measure.time_exn engine a = 1.0);
+        check_b "miss is an error" true
+          (match Tuner.Measure.time_exn engine b with
+          | (_ : float) -> false
+          | exception Invalid_argument _ -> true);
+        check_i "only one run happened" 1 (Tuner.Measure.runs engine));
+    t "measure_all memoizes across calls and within a batch" (fun () ->
+        let runs = Atomic.make 0 in
+        let c =
+          let c0 = fake ~desc:"dup" ~instr:100.0 ~regions:10.0 ~time:3.0 in
+          { c0 with run = (fun () -> Atomic.incr runs; 3.0) }
+        in
+        let engine = Tuner.Measure.create ~app_name:"synthetic" () in
+        let m1 = Tuner.Measure.measure_all ~jobs:2 engine [ c; c; c ] in
+        let m2 = Tuner.Measure.measure_all ~jobs:2 engine [ c ] in
+        check_i "one simulator run" 1 (Atomic.get runs);
+        check_i "batch length preserved" 3 (List.length m1);
+        check_b "same cached value" true
+          (List.for_all (fun (m : Tuner.Search.measured) -> m.time_s = 3.0) (m1 @ m2)));
+    ts "parallel search is deterministic: jobs:1 = jobs:4 on the SAD space" (fun () ->
+        (* The hard requirement behind ~jobs: parallel and sequential
+           runs must produce identical result records.  A reduced SAD
+           problem keeps the space's full 648-configuration structure
+           while staying test-sized. *)
+        let cands = Apps.Sad.candidates ~w:32 ~h:16 ~sr:2 ~max_blocks:2 () in
+        let r1 = Tuner.Search.run ~jobs:1 ~app_name:"sad-small" cands in
+        let r4 = Tuner.Search.run ~jobs:4 ~app_name:"sad-small" cands in
+        let descs ms = List.map (fun (m : Tuner.Search.measured) -> m.cand.desc) ms in
+        let times ms = List.map (fun (m : Tuner.Search.measured) -> m.time_s) ms in
+        let sel_descs sel = List.map (fun ((c : Tuner.Candidate.t), _) -> c.desc) sel in
+        check_i "space_size" r1.space_size r4.space_size;
+        check_i "invalid" r1.invalid r4.invalid;
+        check_b "exhaustive order and times" true
+          (descs r1.exhaustive = descs r4.exhaustive && times r1.exhaustive = times r4.exhaustive);
+        check_b "best" true
+          (r1.best.cand.desc = r4.best.cand.desc && r1.best.time_s = r4.best.time_s);
+        check_b "full_eval_time" true (r1.full_eval_time = r4.full_eval_time);
+        check_b "selected set and order" true (sel_descs r1.selected = sel_descs r4.selected);
+        check_b "selected measurements (cached)" true
+          (descs r1.selected_measured = descs r4.selected_measured
+          && times r1.selected_measured = times r4.selected_measured);
+        check_b "selected_best" true
+          (r1.selected_best.cand.desc = r4.selected_best.cand.desc
+          && r1.selected_best.time_s = r4.selected_best.time_s);
+        check_b "selected_eval_time" true (r1.selected_eval_time = r4.selected_eval_time);
+        check_b "reduction" true (r1.reduction = r4.reduction);
+        check_b "optimum flags" true
+          (r1.optimum_selected = r4.optimum_selected && r1.optimum_exact = r4.optimum_exact);
+        (* And the pruned-only driver agrees with itself, too. *)
+        let b1, s1 = Tuner.Search.tune ~jobs:1 ~app_name:"sad-small" cands in
+        let b4, s4 = Tuner.Search.tune ~jobs:4 ~app_name:"sad-small" cands in
+        check_b "tune best" true (b1.cand.desc = b4.cand.desc && b1.time_s = b4.time_s);
+        check_b "tune selection" true (sel_descs s1 = sel_descs s4));
     t "candidate validity mirrors the paper's failure modes" (fun () ->
         let with_smem words =
           Tuner.Candidate.make ~desc:"s" ~params:[]
