@@ -40,12 +40,15 @@ let timed_search name cands =
     !jobs;
   r
 
-let matmul_result =
-  lazy (timed_search "Matrix Multiplication" (Apps.Matmul.candidates ~n:matmul_n ~max_blocks:8 ()))
-
-let cp_result = lazy (timed_search "CP" (Apps.Cp.candidates ()))
-let sad_result = lazy (timed_search "SAD" (Apps.Sad.candidates ()))
-let mri_result = lazy (timed_search "MRI-FHD" (Apps.Mri_fhd.candidates ()))
+(* Each search comes from the app registry's bench-scale candidate
+   builder (matmul at N=256 rather than the paper's 512, so the
+   exhaustive pass stays tractable on a host CPU). *)
+let registry name = Option.get (Apps.Registry.find name)
+let result_of name = lazy (let e = registry name in timed_search e.display (e.bench_candidates ()))
+let matmul_result = result_of "matmul"
+let cp_result = result_of "cp"
+let sad_result = result_of "sad"
+let mri_result = result_of "mri"
 
 let all_results () =
   [ Lazy.force matmul_result; Lazy.force mri_result; Lazy.force cp_result; Lazy.force sad_result ]
@@ -454,6 +457,35 @@ let ablation () =
     (List.for_all (fun (r : Tuner.Search.result) -> r.optimum_selected) (all_results ()))
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline trace: per-pass statistics, one configuration per app      *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiles the most heavily transformed configuration of every app
+   (the last point of its space) through the verified pipeline with the
+   statistics hook on, and prints the per-pass trace. *)
+let trace () =
+  section "Pipeline trace: per-pass statistics (one configuration per app)";
+  List.iter
+    (fun (e : Apps.Registry.entry) ->
+      let desc = List.hd (List.rev (Lazy.force e.configs)) in
+      let stats = ref [] in
+      match e.compile ~hook:(fun s -> stats := s :: !stats) desc with
+      | exception Tuner.Pipeline.Pass_failed { stage; reason } ->
+        printf "\n--- %s %s ---\n" e.display desc;
+        check (Printf.sprintf "%s: per-stage verification clean" e.name) false;
+        printf "  pass %s failed: %s\n" stage reason
+      | Error msg ->
+        printf "\n--- %s ---\n" e.display;
+        check (Printf.sprintf "%s: per-stage verification clean" e.name) false;
+        printf "  %s\n" msg
+      | Ok c ->
+        printf "\n--- %s %s (%d instrs, %d regs/thread) ---\n" e.display desc
+          (Ptx.Prog.static_size c.ptx) c.resource.regs_per_thread;
+        print_string (Tuner.Pipeline.trace_table (List.rev !stats));
+        check (Printf.sprintf "%s: per-stage verification clean" e.name) true)
+    Apps.Registry.all
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the static pipeline                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -461,20 +493,13 @@ let bechamel () =
   section "Bechamel: static-pipeline micro-benchmarks (one per exhibit)";
   let open Bechamel in
   let mm_cfg = { Apps.Matmul.tile = 16; rect = 2; unroll = 4; prefetch = true; spill = false } in
-  let mm_kir = Apps.Matmul.kernel ~n:matmul_n mm_cfg in
-  let mm_ptx = Ptx.Opt.run (Kir.Lower.lower mm_kir) in
-  let cp_ptx =
-    Ptx.Opt.run
-      (Kir.Lower.lower (Apps.Cp.kernel ~natoms:128 { block_y = 8; tiling = 4; coalesce = true }))
-  in
+  let mm_ptx = (Apps.Matmul.compile ~n:matmul_n mm_cfg).ptx in
+  let cp_ptx = (Apps.Cp.compile ~natoms:128 { block_y = 8; tiling = 4; coalesce = true }).ptx in
   let sad_ptx =
-    Ptx.Opt.run
-      (Kir.Lower.lower
-         (Apps.Sad.kernel ~w:176 ~h:144 ~sr:8 { tpb = 64; tiling = 2; u_vec = 2; u_py = 2; u_px = 4 }))
+    (Apps.Sad.compile ~w:176 ~h:144 ~sr:8 { tpb = 64; tiling = 2; u_vec = 2; u_py = 2; u_px = 4 }).ptx
   in
   let mri_ptx =
-    Ptx.Opt.run
-      (Kir.Lower.lower (Apps.Mri_fhd.kernel ~nsamples:64 ~nvox:107520 { tpb = 128; unroll = 4; wpt = 2 }))
+    (Apps.Mri_fhd.compile ~nsamples:64 ~nvox:107520 { tpb = 128; unroll = 4; wpt = 2 }).ptx
   in
   let mk_metric ptx tpb threads () =
     let res = Ptx.Resource.of_kernel ptx in
@@ -500,7 +525,7 @@ let bechamel () =
       Test.make ~name:"table2/resource-report"
         (Staged.stage (fun () -> Ptx.Resource.of_kernel mm_ptx));
       Test.make ~name:"fig3/matmul-compile"
-        (Staged.stage (fun () -> Ptx.Opt.run (Kir.Lower.lower mm_kir)));
+        (Staged.stage (fun () -> Apps.Matmul.compile ~n:matmul_n mm_cfg));
       Test.make ~name:"fig4/sad-metrics" (Staged.stage (mk_metric sad_ptx 64 1e6));
       Test.make ~name:"fig5/cp-metrics" (Staged.stage (mk_metric cp_ptx 128 1e5));
       Test.make ~name:"fig6/pareto-frontier"
@@ -537,6 +562,7 @@ let experiments =
     ("table3", table3);
     ("table4", table4);
     ("ablation", ablation);
+    ("trace", trace);
     ("bechamel", bechamel);
   ]
 

@@ -4,30 +4,36 @@
      gpuopt arch                 print the machine model (Tables 1-2)
      gpuopt explore <app>        exhaustive vs pruned search, one app
      gpuopt tune <app>           pruned-only search (the methodology)
+     gpuopt inspect <app>        optimization space; --trace one config
      gpuopt compile <file.mcu>   minicuda -> PTX, resources, profile
      gpuopt run <file.mcu> ...   compile and simulate a kernel
 
-   Apps: matmul, cp, sad, mri. *)
+   Applications come from the registry (Apps.Registry.all): matmul,
+   cp, sad, mri. *)
 
 open Cmdliner
 
-let apps : (string * (unit -> Tuner.Candidate.t list)) list =
-  [
-    ("matmul", fun () -> Apps.Matmul.candidates ());
-    ("cp", fun () -> Apps.Cp.candidates ());
-    ("sad", fun () -> Apps.Sad.candidates ());
-    ("mri", fun () -> Apps.Mri_fhd.candidates ());
-  ]
-
 let app_conv =
   let parse s =
-    if List.mem_assoc s apps then Ok s
-    else Error (`Msg (Printf.sprintf "unknown app %S (expected matmul|cp|sad|mri)" s))
+    match Apps.Registry.find s with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown app %S (expected %s)" s
+             (String.concat "|" Apps.Registry.names)))
   in
-  Arg.conv (parse, Format.pp_print_string)
+  Arg.conv (parse, fun fmt (e : Apps.Registry.entry) -> Format.pp_print_string fmt e.name)
 
 let app_arg =
   Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Application to search")
+
+let quick_arg =
+  let doc = "Use a tiny problem size (smoke test) instead of the paper-scale one." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let candidates_of (e : Apps.Registry.entry) quick =
+  if quick then e.quick_candidates () else e.candidates ()
 
 let jobs_arg =
   let doc =
@@ -78,8 +84,8 @@ let explore_cmd =
     "Exhaustively measure an application's optimization space, then compare against the \
      Pareto-pruned search (paper Table 4 / Figure 6)."
   in
-  let run app jobs =
-    let r = Tuner.Search.run ~jobs ~app_name:app ((List.assoc app apps) ()) in
+  let run (e : Apps.Registry.entry) jobs quick =
+    let r = Tuner.Search.run ~jobs ~app_name:e.name (candidates_of e quick) in
     Printf.printf "%d valid configurations (%d invalid)\n\n" r.space_size r.invalid;
     print_string (Tuner.Report.figure6 r);
     Printf.printf "\n";
@@ -88,16 +94,16 @@ let explore_cmd =
     Printf.printf "pruned search:  %s  (%.4f ms)\n" r.selected_best.cand.desc
       (r.selected_best.time_s *. 1000.0)
   in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ app_arg $ jobs_arg)
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ app_arg $ jobs_arg $ quick_arg)
 
 let tune_cmd =
   let doc =
     "Run the paper's methodology: compile the whole space, compute the static metrics, measure \
      only the Pareto-optimal subset, report the chosen configuration."
   in
-  let run app jobs =
-    let cands = (List.assoc app apps) () in
-    let best, selected = Tuner.Search.tune ~jobs ~app_name:app cands in
+  let run (e : Apps.Registry.entry) jobs quick =
+    let cands = candidates_of e quick in
+    let best, selected = Tuner.Search.tune ~jobs ~app_name:e.name cands in
     Printf.printf "space: %d configurations, measured only %d (%.0f%% pruned)\n"
       (List.length (List.filter (fun (c : Tuner.Candidate.t) -> c.valid) cands))
       (List.length selected)
@@ -112,7 +118,56 @@ let tune_cmd =
       selected;
     Printf.printf "chosen: %s (%.4f ms simulated)\n" best.cand.desc (best.time_s *. 1000.0)
   in
-  Cmd.v (Cmd.info "tune" ~doc) Term.(const run $ app_arg $ jobs_arg)
+  Cmd.v (Cmd.info "tune" ~doc) Term.(const run $ app_arg $ jobs_arg $ quick_arg)
+
+let inspect_cmd =
+  let doc =
+    "Describe an application's optimization space (axes, constraints, cardinality); with \
+     $(b,--trace), compile one configuration through the verified pipeline and print per-pass \
+     statistics."
+  in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"DESC"
+          ~doc:"Configuration to trace, by description (default: the space's first point).")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Compile one configuration and print the pass trace.")
+  in
+  let run (e : Apps.Registry.entry) config trace =
+    Printf.printf "%s — %s\n\n" e.display e.title;
+    print_string
+      (Tuner.Report.table [ "Axis"; "Values" ]
+         (List.map
+            (fun (a : Tuner.Space.axis_info) ->
+              [ a.axis_name; String.concat ", " a.axis_values ])
+            e.axes));
+    List.iter (Printf.printf "constraint: %s\n") e.constraints;
+    Printf.printf "%d configurations\n" e.cardinality;
+    if trace then begin
+      let desc = match config with Some d -> d | None -> List.hd (Lazy.force e.configs) in
+      let stats = ref [] in
+      match e.compile ~hook:(fun s -> stats := s :: !stats) desc with
+      | Error msg -> prerr_endline msg; exit 1
+      | Ok c ->
+        Printf.printf "\ntrace of %s:\n" desc;
+        print_string (Tuner.Pipeline.trace_table (List.rev !stats));
+        Printf.printf "\n%d instructions, %d regs/thread, %d bytes smem/block\n"
+          (Ptx.Prog.static_size c.ptx) c.resource.regs_per_thread c.resource.smem_bytes_per_block
+    end
+    else
+      match config with
+      | None -> ()
+      | Some desc -> (
+        match e.compile desc with
+        | Error msg -> prerr_endline msg; exit 1
+        | Ok c ->
+          Printf.printf "\n%s: %d instructions, %d regs/thread, %d bytes smem/block\n" desc
+            (Ptx.Prog.static_size c.ptx) c.resource.regs_per_thread c.resource.smem_bytes_per_block)
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ app_arg $ config_arg $ trace_arg)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minicuda source file")
@@ -122,11 +177,10 @@ let compile_cmd =
   let run file =
     List.iter
       (fun k ->
-        let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
-        print_string (Ptx.Pp.kernel ptx);
-        let res = Ptx.Resource.of_kernel ptx in
-        Format.printf "// %a@." Ptx.Resource.pp res;
-        let prof = Ptx.Count.profile_of ptx in
+        let c = Tuner.Pipeline.lower_opt k in
+        print_string (Ptx.Pp.kernel c.ptx);
+        Format.printf "// %a@." Ptx.Resource.pp c.resource;
+        let prof = c.profile in
         Printf.printf
           "// profile: %.0f dynamic instrs/thread, %.0f regions, %.0f barriers, %.0f bytes \
            off-chip/thread\n\n"
@@ -156,7 +210,7 @@ let run_cmd =
   let show = Arg.(value & opt int 8 & info [ "show" ] ~docv:"N" ~doc:"words of output to print") in
   let run file (gx, gy) (bx, by) bufs ramps ints floats show =
     let kir = List.hd (Minicuda.Parser.parse_file file) in
-    let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
+    let ptx = (Tuner.Pipeline.lower_opt kir).ptx in
     let dev = Gpu.Device.create () in
     let buffers =
       List.map
@@ -206,4 +260,4 @@ let run_cmd =
 let () =
   let doc = "program optimization space pruning for a multithreaded GPU (CGO'08 reproduction)" in
   let info = Cmd.info "gpuopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ arch_cmd; explore_cmd; tune_cmd; compile_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ arch_cmd; explore_cmd; tune_cmd; inspect_cmd; compile_cmd; run_cmd ]))

@@ -48,9 +48,9 @@ let () =
   List.iter
     (fun factor ->
       let k = Minicuda.Parser.parse_one (unroll_src factor) in
-      let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
-      let res = Ptx.Resource.of_kernel ptx in
-      let prof = Ptx.Count.profile_of ptx in
+      let c = Tuner.Pipeline.lower_opt k in
+      let res = c.resource in
+      let prof = c.profile in
       Printf.printf "  unroll %-8s static=%3d instrs  dynamic=%5.0f/thread  regs=%d\n"
         (if factor = 0 then "complete" else string_of_int factor)
         res.static_instrs prof.instr res.regs_per_thread)
@@ -59,7 +59,7 @@ let () =
   (* 2. Parse and run the stencil. *)
   Printf.printf "\n=== 3-point stencil ===\n";
   let k = Minicuda.Parser.parse_one stencil_src in
-  let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
+  let ptx = (Tuner.Pipeline.lower_opt k).ptx in
   let n = 1024 in
   let dev = Gpu.Device.create () in
   let inb = Gpu.Device.alloc dev n and outb = Gpu.Device.alloc dev n in

@@ -39,9 +39,10 @@ let () =
 
   (* Validate the winner end to end. *)
   let cfg =
-    List.find (fun c -> Apps.Mri_fhd.describe c = best.cand.desc) Apps.Mri_fhd.space
+    Option.get
+      (Tuner.Space.find ~describe:Apps.Mri_fhd.describe Apps.Mri_fhd.space best.cand.desc)
   in
-  let ptx = Ptx.Opt.run (Kir.Lower.lower (Apps.Mri_fhd.kernel ~nsamples ~nvox cfg)) in
+  let ptx = (Apps.Mri_fhd.compile ~nsamples ~nvox cfg).ptx in
   ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev (Apps.Mri_fhd.launch_of p cfg ptx));
   let got_re = Gpu.Device.of_device p.dev p.outre in
   let want_re, _ = Apps.Mri_fhd.cpu_reference p in

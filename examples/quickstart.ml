@@ -50,15 +50,16 @@ let kernel : kernel =
   }
 
 let () =
-  (* 1. Type-check and compile. *)
-  Kir.Typecheck.check kernel;
-  let ptx = Ptx.Opt.run (Kir.Lower.lower kernel) in
+  (* 1. Compile through the verified pipeline (type check, lowering,
+     PTX optimization, per-stage verification, characterization). *)
+  let compiled = Tuner.Pipeline.lower_opt kernel in
+  let ptx = compiled.ptx in
   print_endline "=== Compiled PTX ===";
   print_string (Ptx.Pp.kernel ptx);
 
   (* 2. Static characterization: resources and execution profile. *)
-  let res = Ptx.Resource.of_kernel ptx in
-  let prof = Ptx.Count.profile_of ptx in
+  let res = compiled.resource in
+  let prof = compiled.profile in
   Format.printf "\n=== Static characterization ===@.%a@." Ptx.Resource.pp res;
   Printf.printf "dynamic instrs/thread: %.0f, regions: %.0f, barriers: %.0f\n" prof.instr
     prof.regions prof.barriers;

@@ -51,8 +51,7 @@ let () =
 
   (* And confirm the winner actually computes the right product. *)
   let cfg =
-    List.find
-      (fun c -> Apps.Matmul.describe c = r.best.cand.desc)
-      Apps.Matmul.space
+    Option.get
+      (Tuner.Space.find ~describe:Apps.Matmul.describe Apps.Matmul.space r.best.cand.desc)
   in
   Printf.printf "functional validation of the winner: %b\n" (Apps.Matmul.validate ~n:64 cfg)

@@ -26,9 +26,9 @@ let () =
 
   (* Run the winner functionally over the real frames. *)
   let cfg =
-    List.find (fun c -> Apps.Sad.describe c = best.cand.desc) Apps.Sad.space
+    Option.get (Tuner.Space.find ~describe:Apps.Sad.describe Apps.Sad.space best.cand.desc)
   in
-  let ptx = Ptx.Opt.run (Kir.Lower.lower (Apps.Sad.kernel ~w ~h ~sr cfg)) in
+  let ptx = (Apps.Sad.compile ~w ~h ~sr cfg).ptx in
   ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev (Apps.Sad.launch_of p cfg ptx));
   let sads = Gpu.Device.of_device p.dev p.sads in
 

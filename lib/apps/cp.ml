@@ -28,26 +28,21 @@ open Kir.Ast
 
 type config = { block_y : int; tiling : int; coalesce : bool }
 
-let space : config list =
-  List.concat_map
-    (fun block_y ->
-      List.concat_map
-        (fun tiling ->
-          List.map (fun coalesce -> { block_y; tiling; coalesce }) [ true; false ])
-        [ 1; 2; 4; 8; 16 ])
-    [ 2; 4; 8; 16 ]
+let space : config Tuner.Space.t =
+  let open Tuner.Space in
+  let+ block_y = axis ~name:"block" ~show:(Printf.sprintf "16x%d") [ 2; 4; 8; 16 ]
+  and+ tiling = ints ~name:"tiling" [ 1; 2; 4; 8; 16 ]
+  and+ coalesce = bools ~name:"coalesced" [ true; false ] in
+  { block_y; tiling; coalesce }
 
 let block_x = 16
 
 let describe (c : config) =
   Printf.sprintf "b16x%d/t%d%s" c.block_y c.tiling (if c.coalesce then "/co" else "/unco")
 
-let params (c : config) =
-  [
-    ("block", Printf.sprintf "16x%d" c.block_y);
-    ("tiling", string_of_int c.tiling);
-    ("coalesced", string_of_bool c.coalesce);
-  ]
+(* Every configuration axis changes the generated kernel, not a KIR
+   pass, so the schedule is the bare default pipeline. *)
+let schedule (_ : config) : Tuner.Pipeline.schedule = Tuner.Pipeline.default_schedule
 
 (* Atom data layout in constant memory: [x; y; z; q] per atom.  The
    grid slice lies at z = z0 with unit spacing scaled by [1/scale]. *)
@@ -154,23 +149,21 @@ let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
       ];
   }
 
+let compile ?(natoms = default_natoms) ?verify ?hook (c : config) : Tuner.Pipeline.compiled =
+  Tuner.Pipeline.compile ?verify ?hook (schedule c) (kernel ~natoms c)
+
 let candidates ?(npx = default_npx) ?(npy = default_npy) ?(natoms = default_natoms)
     ?(max_blocks = 8) () : Tuner.Candidate.t list =
   let p = setup ~npx ~npy ~natoms () in
-  List.map
-    (fun cfg ->
-      let kir = kernel ~natoms cfg in
-      let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
-      let run () =
-        (* Private device clone: thunks may run on concurrent domains. *)
-        let dev = Gpu.Device.clone p.dev in
-        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s
-      in
-      Tuner.Candidate.make ~desc:(describe cfg) ~params:(params cfg) ~kernel:ptx
-        ~threads_per_block:(block_x * cfg.block_y)
-        ~threads_total:(npx / cfg.tiling * npy)
-        ~run ())
-    space
+  Tuner.Pipeline.candidates_of_space ~space ~describe ~schedule
+    ~kernel:(fun cfg -> kernel ~natoms cfg)
+    ~threads_per_block:(fun cfg -> block_x * cfg.block_y)
+    ~threads_total:(fun cfg -> npx / cfg.tiling * npy)
+    ~run:(fun cfg ptx () ->
+      (* Private device clone: thunks may run on concurrent domains. *)
+      let dev = Gpu.Device.clone p.dev in
+      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s)
+    ()
 
 (* Single-thread CPU reference: the same math with sqrt+divide (the SFU
    rsqrt shortcut is a GPU feature). *)
@@ -203,7 +196,7 @@ let cpu_reference (p : problem) : float array =
 
 let validate ?(npx = 256) ?(npy = 16) ?(natoms = 32) (cfg : config) : bool =
   let p = setup ~npx ~npy ~natoms () in
-  let ptx = Ptx.Opt.run (Kir.Lower.lower (kernel ~natoms cfg)) in
+  let ptx = (compile ~natoms cfg).ptx in
   ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev (launch_of p cfg ptx));
   let got = Gpu.Device.of_device p.dev p.out in
   let want = cpu_reference p in

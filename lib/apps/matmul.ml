@@ -24,20 +24,17 @@ open Kir.Ast
 
 type config = { tile : int; rect : int; unroll : int; prefetch : bool; spill : bool }
 
-let space : config list =
-  List.concat_map
-    (fun tile ->
-      List.concat_map
-        (fun rect ->
-          List.concat_map
-            (fun unroll ->
-              List.concat_map
-                (fun prefetch ->
-                  List.map (fun spill -> { tile; rect; unroll; prefetch; spill }) [ false; true ])
-                [ false; true ])
-            [ 1; 2; 4; 0 ])
-        [ 1; 2; 4 ])
-    [ 8; 16 ]
+let space : config Tuner.Space.t =
+  let open Tuner.Space in
+  let+ tile = axis ~name:"tile" ~show:(fun t -> Printf.sprintf "%dx%d" t t) [ 8; 16 ]
+  and+ rect = axis ~name:"rect" ~show:(fun r -> Printf.sprintf "1x%d" r) [ 1; 2; 4 ]
+  and+ unroll =
+    axis ~name:"unroll"
+      ~show:(fun u -> if u = 0 then "complete" else string_of_int u)
+      [ 1; 2; 4; 0 ]
+  and+ prefetch = bools ~name:"prefetch" [ false; true ]
+  and+ spill = bools ~name:"spill" [ false; true ] in
+  { tile; rect; unroll; prefetch; spill }
 
 let describe (c : config) =
   Printf.sprintf "%dx%d/1x%d/u%s%s%s" c.tile c.tile c.rect
@@ -45,14 +42,26 @@ let describe (c : config) =
     (if c.prefetch then "/pf" else "")
     (if c.spill then "/sp" else "")
 
-let params (c : config) =
-  [
-    ("tile", Printf.sprintf "%dx%d" c.tile c.tile);
-    ("rect", Printf.sprintf "1x%d" c.rect);
-    ("unroll", if c.unroll = 0 then "complete" else string_of_int c.unroll);
-    ("prefetch", string_of_bool c.prefetch);
-    ("spill", string_of_bool c.spill);
-  ]
+(* The optimization configuration as a pass schedule: unroll the inner
+   k-loop, then software-pipeline the tile loop's loads, then spill the
+   first accumulator — the order the paper applies them in. *)
+let schedule (c : config) : Tuner.Pipeline.schedule =
+  let open Tuner.Pipeline in
+  {
+    kir_passes =
+      (if c.unroll <> 1 then
+         [
+           kir_pass
+             (Printf.sprintf "unroll(k,%s)"
+                (if c.unroll = 0 then "complete" else string_of_int c.unroll))
+             (Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:c.unroll);
+         ]
+       else [])
+      @ (if c.prefetch then [ kir_pass "prefetch" (fun k -> fst (Kir.Prefetch.apply k)) ]
+         else [])
+      @ (if c.spill then [ kir_pass "spill(sum0)" (Kir.Spill.apply ~vars:[ "sum0" ]) ] else []);
+    ptx_passes = default_ptx_passes;
+  }
 
 (* The baseline KIR kernel for a (tile, rect) shape: block (tile x
    tile); each thread accumulates [rect] outputs whose columns are
@@ -119,12 +128,7 @@ let kernel ~n (c : config) : kernel =
                   v (Printf.sprintf "sum%d" j) ));
     }
   in
-  (* Apply the optimization configuration as real passes. *)
-  let k = base in
-  let k = if c.unroll <> 1 then Kir.Unroll.apply ~select:(String.equal "k") ~factor:c.unroll k else k in
-  let k = if c.prefetch then fst (Kir.Prefetch.apply k) else k in
-  let k = if c.spill then Kir.Spill.apply ~vars:[ "sum0" ] k else k in
-  k
+  base
 
 (* ------------------------------------------------------------------ *)
 (* Host-side problem                                                   *)
@@ -161,26 +165,26 @@ let launch_of (p : problem) (cfg : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
     args = [ ("A", Gpu.Sim.Buf p.a); ("B", Gpu.Sim.Buf p.b); ("C", Gpu.Sim.Buf p.c) ];
   }
 
+(* The one compile entry point: [schedule c] applied to the base kernel
+   through the verified pipeline. *)
+let compile ?(n = default_n) ?verify ?hook (c : config) : Tuner.Pipeline.compiled =
+  Tuner.Pipeline.compile ?verify ?hook (schedule c) (kernel ~n c)
+
 (* Build the full candidate list for the tuner: compile every
-   configuration, characterize it statically, and provide a simulated
-   measurement thunk. *)
+   configuration through the pipeline, characterize it statically, and
+   provide a simulated measurement thunk. *)
 let candidates ?(n = default_n) ?(max_blocks = 12) () : Tuner.Candidate.t list =
   let p = setup ~n () in
-  List.map
-    (fun cfg ->
-      let kir = kernel ~n cfg in
-      let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
-      let run () =
-        (* Run against a private clone of the staged device: measurement
-           thunks may execute on concurrent domains (Search ~jobs). *)
-        let dev = Gpu.Device.clone p.dev in
-        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s
-      in
-      Tuner.Candidate.make ~desc:(describe cfg) ~params:(params cfg) ~kernel:ptx
-        ~threads_per_block:(cfg.tile * cfg.tile)
-        ~threads_total:(n / cfg.rect * n)
-        ~run ())
-    space
+  Tuner.Pipeline.candidates_of_space ~space ~describe ~schedule
+    ~kernel:(fun cfg -> kernel ~n cfg)
+    ~threads_per_block:(fun cfg -> cfg.tile * cfg.tile)
+    ~threads_total:(fun cfg -> n / cfg.rect * n)
+    ~run:(fun cfg ptx () ->
+      (* Run against a private clone of the staged device: measurement
+         thunks may execute on concurrent domains (Search ~jobs). *)
+      let dev = Gpu.Device.clone p.dev in
+      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s)
+    ()
 
 (* Single-thread CPU reference (binary32 semantics, same accumulation
    order as the kernel: k-major). *)
@@ -197,10 +201,12 @@ let cpu_reference ~n (ha : float array) (hb : float array) : float array =
   done;
   out
 
-(* Functional validation of one configuration against the reference. *)
+(* Functional validation of one configuration against the reference.
+   Compiles through the same pipeline as [candidates], so the validated
+   kernel can never diverge from the measured one. *)
 let validate ?(n = 64) (cfg : config) : bool =
   let p = setup ~n () in
-  let ptx = Ptx.Opt.run (Kir.Lower.lower (kernel ~n cfg)) in
+  let ptx = (compile ~n cfg).ptx in
   ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev (launch_of p cfg ptx));
   let got = Gpu.Device.of_device p.dev p.c in
   let want = cpu_reference ~n p.ha p.hb in

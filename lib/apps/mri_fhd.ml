@@ -29,22 +29,30 @@ open Kir.Ast
 
 type config = { tpb : int; unroll : int; wpt : int }
 
-let space : config list =
-  List.concat_map
-    (fun tpb ->
-      List.concat_map
-        (fun unroll -> List.map (fun wpt -> { tpb; unroll; wpt }) [ 1; 2; 3; 4; 5; 6; 7 ])
-        [ 1; 2; 4; 8; 16 ])
-    [ 64; 96; 128; 192; 256 ]
+let space : config Tuner.Space.t =
+  let open Tuner.Space in
+  let+ tpb = ints ~name:"block" [ 64; 96; 128; 192; 256 ]
+  and+ unroll = ints ~name:"unroll" [ 1; 2; 4; 8; 16 ]
+  and+ wpt = ints ~name:"work/thread" [ 1; 2; 3; 4; 5; 6; 7 ] in
+  { tpb; unroll; wpt }
 
 let describe (c : config) = Printf.sprintf "tpb%d/u%d/w%d" c.tpb c.unroll c.wpt
 
-let params (c : config) =
-  [
-    ("block", string_of_int c.tpb);
-    ("unroll", string_of_int c.unroll);
-    ("work/thread", string_of_int c.wpt);
-  ]
+(* One optimization axis changes the pass schedule: the sample-loop
+   unroll, selected by exact loop label. *)
+let schedule (c : config) : Tuner.Pipeline.schedule =
+  let open Tuner.Pipeline in
+  {
+    kir_passes =
+      (if c.unroll <> 1 then
+         [
+           kir_pass
+             (Printf.sprintf "unroll(k,%d)" c.unroll)
+             (Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:c.unroll);
+         ]
+       else []);
+    ptx_passes = default_ptx_passes;
+  }
 
 let two_pi = Util.Float32.round (2.0 *. Float.pi)
 
@@ -104,8 +112,7 @@ let kernel ~nsamples ~nvox (c : config) : kernel =
         ];
     }
   in
-  if c.unroll <> 1 then Kir.Unroll.apply ~select:(String.equal "k") ~factor:c.unroll base
-  else base
+  base
 
 (* ------------------------------------------------------------------ *)
 (* Host-side problem                                                   *)
@@ -168,23 +175,22 @@ let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
       ];
   }
 
+let compile ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?verify ?hook (c : config) :
+    Tuner.Pipeline.compiled =
+  Tuner.Pipeline.compile ?verify ?hook (schedule c) (kernel ~nsamples ~nvox c)
+
 let candidates ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?(max_blocks = 3) () :
     Tuner.Candidate.t list =
   let p = setup ~nsamples ~nvox () in
-  List.map
-    (fun cfg ->
-      let kir = kernel ~nsamples ~nvox cfg in
-      let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
-      let run () =
-        (* Private device clone: thunks may run on concurrent domains. *)
-        let dev = Gpu.Device.clone p.dev in
-        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s
-      in
-      Tuner.Candidate.make ~desc:(describe cfg) ~params:(params cfg) ~kernel:ptx
-        ~threads_per_block:cfg.tpb
-        ~threads_total:(Util.Stats.cdiv (nvox / cfg.wpt) cfg.tpb * cfg.tpb)
-        ~run ())
-    space
+  Tuner.Pipeline.candidates_of_space ~space ~describe ~schedule
+    ~kernel:(fun cfg -> kernel ~nsamples ~nvox cfg)
+    ~threads_per_block:(fun cfg -> cfg.tpb)
+    ~threads_total:(fun cfg -> Util.Stats.cdiv (nvox / cfg.wpt) cfg.tpb * cfg.tpb)
+    ~run:(fun cfg ptx () ->
+      (* Private device clone: thunks may run on concurrent domains. *)
+      let dev = Gpu.Device.clone p.dev in
+      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s)
+    ()
 
 (* Single-thread CPU reference. *)
 let cpu_reference (p : problem) : float array * float array =
@@ -208,7 +214,7 @@ let cpu_reference (p : problem) : float array * float array =
 
 let validate ?(nsamples = 16) ?(nvox = 840) (cfg : config) : bool =
   let p = setup ~nsamples ~nvox () in
-  let ptx = Ptx.Opt.run (Kir.Lower.lower (kernel ~nsamples ~nvox cfg)) in
+  let ptx = (compile ~nsamples ~nvox cfg).ptx in
   ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev (launch_of p cfg ptx));
   let got_re = Gpu.Device.of_device p.dev p.outre in
   let got_im = Gpu.Device.of_device p.dev p.outim in

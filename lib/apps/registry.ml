@@ -1,0 +1,91 @@
+(* The application registry: every benchmark the repository reproduces,
+   described uniformly so the CLI and the bench harness can enumerate
+   them generically instead of hard-coding one match per app.
+
+   Each entry erases the app's config type behind closures: the space
+   metadata (axes, constraints, cardinality) for `gpuopt inspect`, the
+   candidate builders at three problem sizes (full paper-scale,
+   quick smoke-test, bench harness), and a by-description compile
+   entry point that drives the traced pipeline. *)
+
+type entry = {
+  name : string;  (* CLI name, e.g. "matmul" *)
+  display : string;  (* report heading, e.g. "Matrix Multiplication" *)
+  title : string;  (* one-line description *)
+  axes : Tuner.Space.axis_info list;
+  constraints : string list;
+  cardinality : int;  (* after validity constraints; Table 4 *)
+  configs : string list Lazy.t;  (* all descriptions, enumeration order *)
+  candidates : unit -> Tuner.Candidate.t list;  (* paper-scale problem *)
+  quick_candidates : unit -> Tuner.Candidate.t list;  (* tiny smoke-test problem *)
+  bench_candidates : unit -> Tuner.Candidate.t list;  (* bench-harness problem *)
+  compile :
+    ?verify:bool ->
+    ?hook:(Tuner.Pipeline.stat -> unit) ->
+    string ->
+    (Tuner.Pipeline.compiled, string) result;
+      (* compile one configuration, selected by its description *)
+}
+
+let entry (type c) ~name ~display ~title ~(space : c Tuner.Space.t) ~(describe : c -> string)
+    ~(compile : ?verify:bool -> ?hook:(Tuner.Pipeline.stat -> unit) -> c -> Tuner.Pipeline.compiled)
+    ~candidates ~quick ~bench () : entry =
+  {
+    name;
+    display;
+    title;
+    axes = Tuner.Space.axes space;
+    constraints = Tuner.Space.constraints space;
+    cardinality = Tuner.Space.cardinality space;
+    configs = lazy (List.map describe (Tuner.Space.configs space));
+    candidates;
+    quick_candidates = quick;
+    bench_candidates = bench;
+    compile =
+      (fun ?verify ?hook desc ->
+        match Tuner.Space.find ~describe space desc with
+        | Some cfg -> Ok (compile ?verify ?hook cfg)
+        | None -> Error (Printf.sprintf "%s: no configuration %S" name desc));
+  }
+
+let matmul =
+  entry ~name:"matmul" ~display:"Matrix Multiplication"
+    ~title:"dense matrix multiplication (paper's running example, Figure 3)" ~space:Matmul.space
+    ~describe:Matmul.describe
+    ~compile:(fun ?verify ?hook c -> Matmul.compile ?verify ?hook c)
+    ~candidates:(fun () -> Matmul.candidates ())
+    ~quick:(fun () -> Matmul.candidates ~n:64 ~max_blocks:2 ())
+    ~bench:(fun () -> Matmul.candidates ~n:256 ~max_blocks:8 ())
+    ()
+
+let cp =
+  entry ~name:"cp" ~display:"CP" ~title:"coulombic potential over a grid slice (Figure 5)"
+    ~space:Cp.space ~describe:Cp.describe
+    ~compile:(fun ?verify ?hook c -> Cp.compile ?verify ?hook c)
+    ~candidates:(fun () -> Cp.candidates ())
+    ~quick:(fun () -> Cp.candidates ~npx:256 ~npy:16 ~natoms:16 ~max_blocks:2 ())
+    ~bench:(fun () -> Cp.candidates ())
+    ()
+
+let sad =
+  entry ~name:"sad" ~display:"SAD" ~title:"sums of absolute differences for motion estimation (Figure 4)"
+    ~space:Sad.space ~describe:Sad.describe
+    ~compile:(fun ?verify ?hook c -> Sad.compile ?verify ?hook c)
+    ~candidates:(fun () -> Sad.candidates ())
+    ~quick:(fun () -> Sad.candidates ~w:32 ~h:16 ~sr:2 ~max_blocks:2 ())
+    ~bench:(fun () -> Sad.candidates ())
+    ()
+
+let mri_fhd =
+  entry ~name:"mri" ~display:"MRI-FHD" ~title:"F^H d for non-Cartesian MRI reconstruction (Figure 6(b))"
+    ~space:Mri_fhd.space ~describe:Mri_fhd.describe
+    ~compile:(fun ?verify ?hook c -> Mri_fhd.compile ?verify ?hook c)
+    ~candidates:(fun () -> Mri_fhd.candidates ())
+    ~quick:(fun () -> Mri_fhd.candidates ~nsamples:8 ~nvox:3360 ~max_blocks:1 ())
+    ~bench:(fun () -> Mri_fhd.candidates ())
+    ()
+
+(* Enumeration order is the paper's Table 4 order. *)
+let all = [ matmul; cp; sad; mri_fhd ]
+let names = List.map (fun e -> e.name) all
+let find n = List.find_opt (fun e -> String.equal e.name n) all

@@ -34,34 +34,41 @@ open Kir.Ast
 
 type config = { tpb : int; tiling : int; u_vec : int; u_py : int; u_px : int }
 
-let space : config list =
-  List.concat_map
-    (fun tpb ->
-      List.concat_map
-        (fun tiling ->
-          List.concat_map
-            (fun u_vec ->
-              if u_vec > tiling then []
-              else
-                List.concat_map
-                  (fun u_py ->
-                    List.map (fun u_px -> { tpb; tiling; u_vec; u_py; u_px }) [ 1; 2; 4 ])
-                  [ 1; 2; 4 ])
-            [ 1; 2; 4 ])
-        [ 1; 2; 4 ])
-    [ 32; 64; 96; 128; 160; 192; 224; 256; 288; 320; 352; 384 ]
+let space : config Tuner.Space.t =
+  let open Tuner.Space in
+  (let+ tpb =
+     ints ~name:"threads/block" [ 32; 64; 96; 128; 160; 192; 224; 256; 288; 320; 352; 384 ]
+   and+ tiling = ints ~name:"tiling" [ 1; 2; 4 ]
+   and+ u_vec = ints ~name:"unroll vec" [ 1; 2; 4 ]
+   and+ u_py = ints ~name:"unroll py" [ 1; 2; 4 ]
+   and+ u_px = ints ~name:"unroll px" [ 1; 2; 4 ] in
+   { tpb; tiling; u_vec; u_py; u_px })
+  |> filter ~name:"u_vec <= tiling" (fun c -> c.u_vec <= c.tiling)
 
 let describe (c : config) =
   Printf.sprintf "tpb%d/t%d/uv%d/uy%d/ux%d" c.tpb c.tiling c.u_vec c.u_py c.u_px
 
-let params (c : config) =
-  [
-    ("threads/block", string_of_int c.tpb);
-    ("tiling", string_of_int c.tiling);
-    ("unroll vec", string_of_int c.u_vec);
-    ("unroll py", string_of_int c.u_py);
-    ("unroll px", string_of_int c.u_px);
-  ]
+(* The three unrolls as named-loop passes.  The loops are selected by
+   exact label — "px" and "py" used to be matched by string *prefix*,
+   which a rename could silently defeat; [Named] raises instead.  The
+   pixel loops are unrolled innermost-first (px, then py) so the py
+   copies replicate already-unrolled px bodies, then the per-thread
+   vector loop "t". *)
+let schedule (c : config) : Tuner.Pipeline.schedule =
+  let open Tuner.Pipeline in
+  let unroll label factor =
+    if factor = 1 then []
+    else
+      [
+        kir_pass
+          (Printf.sprintf "unroll(%s,%d)" label factor)
+          (Kir.Unroll.apply ~select:(Kir.Unroll.Named label) ~factor);
+      ]
+  in
+  {
+    kir_passes = unroll "px" c.u_px @ unroll "py" c.u_py @ unroll "t" c.u_vec;
+    ptx_passes = default_ptx_passes;
+  }
 
 (* Search geometry: vectors dx, dy in [-sr, sr), i.e. (2*sr)^2
    candidates per macroblock. *)
@@ -156,19 +163,7 @@ let kernel ~w ~h ~sr (c : config) : kernel =
         ];
     }
   in
-  let k = base in
-  let k =
-    if c.u_px <> 1 then Kir.Unroll.apply ~select:(fun s -> String.length s >= 2 && String.sub s 0 2 = "px") ~factor:c.u_px k
-    else k
-  in
-  let k =
-    if c.u_py <> 1 then Kir.Unroll.apply ~select:(fun s -> String.length s >= 2 && String.sub s 0 2 = "py") ~factor:c.u_py k
-    else k
-  in
-  let k =
-    if c.u_vec <> 1 then Kir.Unroll.apply ~select:(String.equal "t") ~factor:c.u_vec k else k
-  in
-  k
+  base
 
 (* ------------------------------------------------------------------ *)
 (* Host-side problem                                                   *)
@@ -218,26 +213,24 @@ let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
       [ ("cur", Gpu.Sim.Buf p.cur); ("reff", Gpu.Sim.Buf p.reff); ("sads", Gpu.Sim.Buf p.sads) ];
   }
 
+let compile ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?verify ?hook (c : config) :
+    Tuner.Pipeline.compiled =
+  Tuner.Pipeline.compile ?verify ?hook (schedule c) (kernel ~w ~h ~sr c)
+
 let candidates ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?(max_blocks = 8) () :
     Tuner.Candidate.t list =
   let p = setup ~w ~h ~sr () in
   let nvec = 4 * sr * sr in
-  List.map
-    (fun cfg ->
-      let kir = kernel ~w ~h ~sr cfg in
-      let ptx = Ptx.Opt.run (Kir.Lower.lower kir) in
-      let run () =
-        (* Private device clone: thunks may run on concurrent domains. *)
-        let dev = Gpu.Device.clone p.dev in
-        (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s
-      in
-      let mbs = w / mb * (h / mb) in
-      let chunks = Util.Stats.cdiv nvec (cfg.tpb * cfg.tiling) in
-      Tuner.Candidate.make ~desc:(describe cfg) ~params:(params cfg) ~kernel:ptx
-        ~threads_per_block:cfg.tpb
-        ~threads_total:(mbs * chunks * cfg.tpb)
-        ~run ())
-    space
+  let mbs = w / mb * (h / mb) in
+  Tuner.Pipeline.candidates_of_space ~space ~describe ~schedule
+    ~kernel:(fun cfg -> kernel ~w ~h ~sr cfg)
+    ~threads_per_block:(fun cfg -> cfg.tpb)
+    ~threads_total:(fun cfg -> mbs * Util.Stats.cdiv nvec (cfg.tpb * cfg.tiling) * cfg.tpb)
+    ~run:(fun cfg ptx () ->
+      (* Private device clone: thunks may run on concurrent domains. *)
+      let dev = Gpu.Device.clone p.dev in
+      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s)
+    ()
 
 (* Single-thread CPU reference. *)
 let cpu_reference (p : problem) : float array =
@@ -266,7 +259,7 @@ let cpu_reference (p : problem) : float array =
 
 let validate ?(w = 32) ?(h = 16) ?(sr = 4) (cfg : config) : bool =
   let p = setup ~w ~h ~sr () in
-  let ptx = Ptx.Opt.run (Kir.Lower.lower (kernel ~w ~h ~sr cfg)) in
+  let ptx = (compile ~w ~h ~sr cfg).ptx in
   ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev (launch_of p cfg ptx));
   let got = Gpu.Device.of_device p.dev p.sads in
   let want = cpu_reference p in

@@ -23,10 +23,14 @@ type t = {
 }
 
 (* Characterize a compiled kernel; [run] must produce the simulated
-   wall-clock the paper would obtain from a real execution. *)
-let make ~desc ~params ~kernel ~threads_per_block ~threads_total ~run () : t =
-  let resource = Ptx.Resource.of_kernel kernel in
-  let profile = Ptx.Count.profile_of kernel in
+   wall-clock the paper would obtain from a real execution.  When the
+   pipeline already characterized the kernel, pass [?resource] and
+   [?profile] to avoid recomputing them. *)
+let make ~desc ~params ~kernel ?resource ?profile ~threads_per_block ~threads_total ~run () : t =
+  let resource =
+    match resource with Some r -> r | None -> Ptx.Resource.of_kernel kernel
+  in
+  let profile = match profile with Some p -> p | None -> Ptx.Count.profile_of kernel in
   let occupancy =
     Gpu.Arch.occupancy ~threads_per_block ~regs_per_thread:resource.regs_per_thread
       ~smem_per_block:resource.smem_bytes_per_block ()

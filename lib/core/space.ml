@@ -1,0 +1,79 @@
+(* Typed optimization spaces.
+
+   The paper's method starts from a finite cross product of named
+   optimization parameters, minus the points a validity predicate rules
+   out (Table 4's "search space" column).  This module makes that
+   structure first-class: an ['a t] is an exact enumeration of
+   configurations together with, per configuration, the (axis, value)
+   parameter list the reports key on, plus the axis metadata and the
+   names of the validity constraints applied.
+
+   Spaces are built applicatively:
+
+     let+ tile = axis ~name:"tile" ~show [ 8; 16 ]
+     and+ rect = axis ~name:"rect" ~show [ 1; 2; 4 ] in
+     { tile; rect }
+
+   Enumeration order is load-bearing — Pareto pruning and the reports
+   preserve candidate order — and is row-major: the first axis varies
+   slowest, the last fastest, exactly like the nested loops the apps
+   used to hand-write.  [filter] removes points without reordering the
+   survivors. *)
+
+type axis_info = { axis_name : string; axis_values : string list }
+
+type 'a t = {
+  elems : ('a * (string * string) list) list;  (* row-major; params in axis order *)
+  axes : axis_info list;
+  constraints : string list;  (* names of the filters applied *)
+}
+
+let axis ~name ~(show : 'a -> string) (values : 'a list) : 'a t =
+  {
+    elems = List.map (fun v -> (v, [ (name, show v) ])) values;
+    axes = [ { axis_name = name; axis_values = List.map show values } ];
+    constraints = [];
+  }
+
+let ints ~name values = axis ~name ~show:string_of_int values
+let bools ~name values = axis ~name ~show:string_of_bool values
+let return x = { elems = [ (x, []) ]; axes = []; constraints = [] }
+let map f t = { t with elems = List.map (fun (v, ps) -> (f v, ps)) t.elems }
+
+(* Cartesian product, row-major: [a]'s order is outer, [b]'s inner. *)
+let product (a : 'a t) (b : 'b t) : ('a * 'b) t =
+  {
+    elems =
+      List.concat_map
+        (fun (x, px) -> List.map (fun (y, py) -> ((x, y), px @ py)) b.elems)
+        a.elems;
+    axes = a.axes @ b.axes;
+    constraints = a.constraints @ b.constraints;
+  }
+
+let ( let+ ) t f = map f t
+let ( and+ ) = product
+
+(* Validity predicate, recorded by name so reports and docs can say
+   which constraints shaped the space. *)
+let filter ~name pred (t : 'a t) : 'a t =
+  {
+    t with
+    elems = List.filter (fun (v, _) -> pred v) t.elems;
+    constraints = t.constraints @ [ name ];
+  }
+
+let elements t = t.elems
+let configs t = List.map fst t.elems
+let cardinality t = List.length t.elems
+
+(* Size of the unconstrained cross product (what cardinality would be
+   with no [filter]). *)
+let raw_cardinality t =
+  List.fold_left (fun acc a -> acc * List.length a.axis_values) 1 t.axes
+
+let axes t = t.axes
+let constraints t = t.constraints
+
+let find ~describe t desc =
+  List.find_opt (fun (c, _) -> String.equal (describe c) desc) t.elems |> Option.map fst

@@ -9,6 +9,24 @@
 
 open Ast
 
+(* Which loops to transform.  [Named] selects exactly one loop label
+   and *fails loudly* ([No_such_loop]) when no loop matches, so renaming
+   a loop in a kernel generator cannot silently disable its unrolling —
+   the failure mode string-prefix predicates used to have.  [Pred]
+   keeps the old open-ended behaviour for callers that genuinely want
+   it (matching zero loops is then not an error). *)
+type selector = All | Named of string | Pred of (string -> bool)
+
+exception No_such_loop of string
+
+let () =
+  Printexc.register_printer (function
+    | No_such_loop name -> Some (Printf.sprintf "Kir.Unroll.No_such_loop %S" name)
+    | _ -> None)
+
+let selects (sel : selector) (var : string) : bool =
+  match sel with All -> true | Named n -> String.equal n var | Pred p -> p var
+
 (* Replicate [body] [factor] times inside a wider-stepping loop, with
    binder renaming so replicated bindings stay unique.  Any remainder
    iterations run in an epilogue loop. *)
@@ -84,8 +102,19 @@ let rec transform_loops (select : string -> bool) (f : loop -> stmt list) (ss : 
       | _ -> [ s ])
     ss
 
-(* Unroll loops named by [select] by [factor]; [factor = 0] means
-   complete unrolling. *)
-let apply ?(select = fun _ -> true) ~factor (k : kernel) : kernel =
+(* Unroll loops chosen by [select] by [factor]; [factor = 0] means
+   complete unrolling.  A [Named] selector that matches no loop raises
+   [No_such_loop]. *)
+let apply ?(select = All) ~factor (k : kernel) : kernel =
   let f l = if factor = 0 then complete_loop l else unroll_loop l factor in
-  { k with body = transform_loops select f k.body }
+  let matched = ref false in
+  let sel var =
+    let hit = selects select var in
+    if hit then matched := true;
+    hit
+  in
+  let body = transform_loops sel f k.body in
+  (match select with
+  | Named name when not !matched -> raise (No_such_loop name)
+  | All | Named _ | Pred _ -> ());
+  { k with body }

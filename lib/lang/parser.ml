@@ -467,7 +467,7 @@ let kernel st : kernel =
      loop variables. *)
   let k =
     List.fold_left
-      (fun k (var, factor) -> Kir.Unroll.apply ~select:(String.equal var) ~factor k)
+      (fun k (var, factor) -> Kir.Unroll.apply ~select:(Kir.Unroll.Named var) ~factor k)
       k st.unrolls
   in
   Kir.Typecheck.check k;

@@ -257,8 +257,13 @@ let dce (k : Prog.t) : Prog.t =
 let map_blocks f (k : Prog.t) : Prog.t =
   { k with blocks = List.map (fun (b : Prog.block) -> { b with body = f b.body }) k.blocks }
 
-let one_round (k : Prog.t) : Prog.t =
-  k |> map_blocks propagate_block |> map_blocks cse_block |> dce
+(* The individual passes, exposed so a pass manager (Tuner.Pipeline)
+   can schedule, verify and time them one by one.  [run] below remains
+   the reference composition. *)
+let propagate (k : Prog.t) : Prog.t = map_blocks propagate_block k
+let cse (k : Prog.t) : Prog.t = map_blocks cse_block k
+
+let one_round (k : Prog.t) : Prog.t = k |> propagate |> cse |> dce
 
 (* Run optimization rounds to a fixed point (bounded at 8 rounds; in
    practice two suffice). *)

@@ -53,35 +53,36 @@ let workload_tests =
 (* ------------------------------------------------------------------ *)
 
 let unique_descs describe space =
-  let descs = List.map describe space in
+  let descs = List.map describe (Tuner.Space.configs space) in
   List.length (List.sort_uniq compare descs) = List.length descs
 
 let space_tests =
   [
     t "matmul space has 96 raw configurations" (fun () ->
-        check_i "size" 96 (List.length Apps.Matmul.space));
+        check_i "size" 96 (Tuner.Space.cardinality Apps.Matmul.space));
     t "cp space has 40 raw configurations" (fun () ->
-        check_i "size" 40 (List.length Apps.Cp.space));
+        check_i "size" 40 (Tuner.Space.cardinality Apps.Cp.space));
     t "sad space has 648 raw configurations" (fun () ->
-        check_i "size" 648 (List.length Apps.Sad.space));
+        check_i "size" 648 (Tuner.Space.cardinality Apps.Sad.space));
     t "mri space has exactly the paper's 175 configurations" (fun () ->
-        check_i "size" 175 (List.length Apps.Mri_fhd.space));
+        check_i "size" 175 (Tuner.Space.cardinality Apps.Mri_fhd.space));
     t "descriptions are unique within each space" (fun () ->
         check_b "matmul" true (unique_descs Apps.Matmul.describe Apps.Matmul.space);
         check_b "cp" true (unique_descs Apps.Cp.describe Apps.Cp.space);
         check_b "sad" true (unique_descs Apps.Sad.describe Apps.Sad.space);
         check_b "mri" true (unique_descs Apps.Mri_fhd.describe Apps.Mri_fhd.space));
-    t "every configuration compiles to valid PTX" (fun () ->
+    t "every configuration compiles through the verified pipeline" (fun () ->
+        (* [compile] runs per-stage verification by default, so this
+           also asserts zero violations across three whole spaces. *)
         List.iter
-          (fun c -> ignore (Ptx.Prog.validate (Kir.Lower.lower (Apps.Matmul.kernel ~n:64 c))))
-          Apps.Matmul.space;
+          (fun c -> ignore (Apps.Matmul.compile ~n:64 c))
+          (Tuner.Space.configs Apps.Matmul.space);
         List.iter
-          (fun c -> ignore (Ptx.Prog.validate (Kir.Lower.lower (Apps.Cp.kernel ~natoms:8 c))))
-          Apps.Cp.space;
+          (fun c -> ignore (Apps.Cp.compile ~natoms:8 c))
+          (Tuner.Space.configs Apps.Cp.space);
         List.iter
-          (fun c ->
-            ignore (Ptx.Prog.validate (Kir.Lower.lower (Apps.Mri_fhd.kernel ~nsamples:4 ~nvox:840 c))))
-          Apps.Mri_fhd.space);
+          (fun c -> ignore (Apps.Mri_fhd.compile ~nsamples:4 ~nvox:840 c))
+          (Tuner.Space.configs Apps.Mri_fhd.space));
   ]
 
 (* ------------------------------------------------------------------ *)

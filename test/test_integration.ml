@@ -25,7 +25,7 @@ let integration_tests =
         let n = 32 in
         let cfg = { Apps.Matmul.tile = 16; rect = 2; unroll = 2; prefetch = false; spill = false } in
         let p = Apps.Matmul.setup ~n () in
-        let ptx = Ptx.Opt.run (Kir.Lower.lower (Apps.Matmul.kernel ~n cfg)) in
+        let ptx = (Apps.Matmul.compile ~n cfg).ptx in
         let launch = Apps.Matmul.launch_of p cfg ptx in
         ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev launch);
         let want = Gpu.Device.of_device p.dev p.c in
@@ -41,7 +41,7 @@ let integration_tests =
         let n = 32 in
         let cfg = { Apps.Matmul.tile = 8; rect = 1; unroll = 0; prefetch = true; spill = false } in
         let p = Apps.Matmul.setup ~n () in
-        let ptx = Ptx.Opt.run (Kir.Lower.lower (Apps.Matmul.kernel ~n cfg)) in
+        let ptx = (Apps.Matmul.compile ~n cfg).ptx in
         let launch = Apps.Matmul.launch_of p cfg ptx in
         ignore (Gpu.Sim.run ~mode:Gpu.Sim.Functional p.dev launch);
         let want = Gpu.Device.of_device p.dev p.c in
@@ -58,9 +58,9 @@ let integration_tests =
                 O[gid] = a * X[gid];
               }|}
         in
-        let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
+        let cc = Tuner.Pipeline.lower_opt k in
         let c =
-          Tuner.Candidate.make ~desc:"mcu" ~params:[] ~kernel:ptx ~threads_per_block:128
+          Tuner.Candidate.make ~desc:"mcu" ~resource:cc.resource ~profile:cc.profile ~params:[] ~kernel:cc.ptx ~threads_per_block:128
             ~threads_total:1024
             ~run:(fun () -> 0.0)
             ()
@@ -78,9 +78,9 @@ let integration_tests =
                 O[gid] = X[gid];
               }|}
         in
-        let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
+        let cc = Tuner.Pipeline.lower_opt k in
         let c =
-          Tuner.Candidate.make ~desc:"copy" ~params:[] ~kernel:ptx ~threads_per_block:128
+          Tuner.Candidate.make ~desc:"copy" ~resource:cc.resource ~profile:cc.profile ~params:[] ~kernel:cc.ptx ~threads_per_block:128
             ~threads_total:1024
             ~run:(fun () -> 0.0)
             ()
@@ -88,7 +88,7 @@ let integration_tests =
         check_b "bandwidth bound" true (Tuner.Metrics.bandwidth_bound c));
     t "compute-dense kernels pass the bandwidth screen" (fun () ->
         let cfg = { Apps.Cp.block_y = 8; tiling = 4; coalesce = true } in
-        let ptx = Ptx.Opt.run (Kir.Lower.lower (Apps.Cp.kernel ~natoms:64 cfg)) in
+        let ptx = (Apps.Cp.compile ~natoms:64 cfg).ptx in
         let c =
           Tuner.Candidate.make ~desc:"cp" ~params:[] ~kernel:ptx ~threads_per_block:128
             ~threads_total:4096

@@ -241,25 +241,25 @@ let instr_of k = (Ptx.Count.profile_of (Ptx.Opt.run (Kir.Lower.lower k))).instr
 let pass_tests =
   [
     t "unroll x2 preserves semantics" (fun () ->
-        let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor:2 tiled_kernel in
+        let k = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:2 tiled_kernel in
         check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:x_data));
     t "unroll with remainder (factor 3 on trip 32) preserves semantics" (fun () ->
-        let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor:3 tiled_kernel in
+        let k = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:3 tiled_kernel in
         check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:x_data));
     t "complete unroll preserves semantics" (fun () ->
-        let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor:0 tiled_kernel in
+        let k = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:0 tiled_kernel in
         check_b "diff" true (differential ~grid:(1, 1) k ~extra_args:x_data));
     t "unrolling reduces dynamic instructions" (fun () ->
-        let u4 = Kir.Unroll.apply ~select:(String.equal "k") ~factor:4 tiled_kernel in
+        let u4 = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:4 tiled_kernel in
         check_b "fewer" true (instr_of u4 < instr_of tiled_kernel));
     t "complete unroll minimizes dynamic instructions" (fun () ->
-        let uc = Kir.Unroll.apply ~select:(String.equal "k") ~factor:0 tiled_kernel in
-        let u4 = Kir.Unroll.apply ~select:(String.equal "k") ~factor:4 tiled_kernel in
+        let uc = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:0 tiled_kernel in
+        let u4 = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:4 tiled_kernel in
         check_b "least" true (instr_of uc < instr_of u4));
     t "unroll factor 1 and oversized factors are identity-safe" (fun () ->
-        let k1 = Kir.Unroll.apply ~select:(String.equal "k") ~factor:1 tiled_kernel in
+        let k1 = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:1 tiled_kernel in
         check_b "id" true (k1 = tiled_kernel);
-        let k64 = Kir.Unroll.apply ~select:(String.equal "k") ~factor:64 tiled_kernel in
+        let k64 = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor:64 tiled_kernel in
         check_b "diff" true (differential ~grid:(1, 1) k64 ~extra_args:x_data));
     t "prefetch matches the tile-loop pattern and preserves semantics" (fun () ->
         let k, changed = Kir.Prefetch.apply tiled_kernel in
@@ -350,13 +350,13 @@ let pass_tests =
       (QCheck.Test.make ~name:"unroll preserves semantics for any factor (qcheck)" ~count:12
          QCheck.(int_range 1 9)
          (fun factor ->
-           let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor tiled_kernel in
+           let k = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor tiled_kernel in
            differential ~grid:(1, 1) k ~extra_args:x_data));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"pass compositions preserve semantics (qcheck)" ~count:8
          QCheck.(pair (int_range 0 4) bool)
          (fun (factor, do_prefetch) ->
-           let k = Kir.Unroll.apply ~select:(String.equal "k") ~factor tiled_kernel in
+           let k = Kir.Unroll.apply ~select:(Kir.Unroll.Named "k") ~factor tiled_kernel in
            let k = if do_prefetch then fst (Kir.Prefetch.apply k) else k in
            let k = Kir.Spill.apply ~vars:[ "acc" ] k in
            differential ~grid:(1, 1) k ~extra_args:x_data));
