@@ -486,6 +486,62 @@ let trace () =
     Apps.Registry.all
 
 (* ------------------------------------------------------------------ *)
+(* Static lints: the memory-access analyzer on every app               *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the affine analyzer on every app's quick-scale workbench, print
+   the lint reports, and cross-validate every static transaction /
+   bank-conflict prediction against the simulator's per-site counters
+   (exact agreement required on analyzable sites).  Then demonstrate
+   the bug detectors on deliberately broken matmul variants. *)
+let lint () =
+  section "Static lints: memory-access analysis, cross-validated against the simulator";
+  List.iter
+    (fun (e : Apps.Registry.entry) ->
+      match e.workbench () with
+      | Error msg ->
+        printf "%s: %s\n" e.name msg;
+        check (Printf.sprintf "%s: analysis workbench builds" e.name) false
+      | Ok wb ->
+        let report = Apps.Workbench.lint wb in
+        printf "\n";
+        print_string (Analysis.Lint.render report);
+        let cv = Apps.Workbench.crossval wb in
+        printf "  crossval: %d sites, %d checked, %d not analyzable, %d mismatches\n"
+          cv.Analysis.Crossval.cv_total cv.Analysis.Crossval.cv_checked
+          cv.Analysis.Crossval.cv_top cv.Analysis.Crossval.cv_mismatches;
+        check
+          (Printf.sprintf "%s: race-free, all barriers convergent" e.name)
+          (not (Analysis.Lint.has_errors report));
+        check
+          (Printf.sprintf "%s: static = dynamic on all %d analyzable sites" e.name
+             cv.Analysis.Crossval.cv_checked)
+          (cv.Analysis.Crossval.cv_mismatches = 0
+          && cv.Analysis.Crossval.cv_checked > 0
+          && cv.Analysis.Crossval.cv_total
+             = cv.Analysis.Crossval.cv_checked + cv.Analysis.Crossval.cv_top))
+    Apps.Registry.all;
+  (* The detectors on known-bad kernels: drop the second barrier of the
+     matmul tile loop (classic read-before-write race), transpose the
+     As store (classic bank conflict). *)
+  match (registry "matmul").workbench () with
+  | Error msg -> printf "matmul workbench: %s\n" msg
+  | Ok wb ->
+    let racy = Apps.Workbench.lint_mutant wb (Kir.Mutate.drop_sync ~index:1) in
+    check "barrier-dropped matmul mutant is flagged as racy"
+      (racy.Analysis.Lint.r_races.Analysis.Races.findings <> []);
+    let conflicted = Apps.Workbench.lint_mutant wb (Kir.Mutate.transpose_store ~array:"As") in
+    let has_conflict =
+      List.exists
+        (fun (sr : Analysis.Lint.site_report) ->
+          match sr.Analysis.Lint.sr_verdict with
+          | Analysis.Lint.Bank_conflict _ -> true
+          | _ -> false)
+        conflicted.Analysis.Lint.r_sites
+    in
+    check "store-transposed matmul mutant has bank conflicts" has_conflict
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the static pipeline                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -563,6 +619,7 @@ let experiments =
     ("table4", table4);
     ("ablation", ablation);
     ("trace", trace);
+    ("lint", lint);
     ("bechamel", bechamel);
   ]
 

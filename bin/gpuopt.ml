@@ -5,6 +5,7 @@
      gpuopt explore <app>        exhaustive vs pruned search, one app
      gpuopt tune <app>           pruned-only search (the methodology)
      gpuopt inspect <app>        optimization space; --trace one config
+     gpuopt lint <app>           static memory-access analysis
      gpuopt compile <file.mcu>   minicuda -> PTX, resources, profile
      gpuopt run <file.mcu> ...   compile and simulate a kernel
 
@@ -154,6 +155,15 @@ let inspect_cmd =
       | Ok c ->
         Printf.printf "\ntrace of %s:\n" desc;
         print_string (Tuner.Pipeline.trace_table (List.rev !stats));
+        Printf.printf "\ninstruction classes:\n";
+        print_string
+          (Tuner.Report.table
+             [ "Class"; "Static"; "Dynamic/thread" ]
+             (List.map
+                (fun (r : Ptx.Count.class_row) ->
+                  [ r.class_name; string_of_int r.static_count;
+                    Printf.sprintf "%.0f" r.dynamic_count ])
+                (Ptx.Count.class_breakdown c.ptx)));
         Printf.printf "\n%d instructions, %d regs/thread, %d bytes smem/block\n"
           (Ptx.Prog.static_size c.ptx) c.resource.regs_per_thread c.resource.smem_bytes_per_block
     end
@@ -168,6 +178,66 @@ let inspect_cmd =
             (Ptx.Prog.static_size c.ptx) c.resource.regs_per_thread c.resource.smem_bytes_per_block)
   in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ app_arg $ config_arg $ trace_arg)
+
+let lint_cmd =
+  let doc =
+    "Statically analyze an application's memory accesses on a quick-scale launch: affine \
+     per-site coalescing and bank-conflict predictions, a shared-memory race check and \
+     divergent-barrier detection.  Exits nonzero if a race or divergent barrier is found.  \
+     $(b,--crossval) additionally diffs every static prediction against the simulator's \
+     per-site counters; $(b,--mutate) injects a classic bug first (for demonstration)."
+  in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"DESC"
+          ~doc:"Configuration to analyze, by description (default: the space's first point).")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("race", `Race); ("bank", `Bank) ])) None
+      & info [ "mutate" ] ~docv:"KIND"
+          ~doc:
+            "Analyze a deliberately broken variant: $(b,race) drops a barrier, $(b,bank) \
+             transposes a shared-memory store.")
+  in
+  let crossval_arg =
+    Arg.(
+      value & flag
+      & info [ "crossval" ]
+          ~doc:"Cross-validate static predictions against the simulator's dynamic counters.")
+  in
+  let mutation (wb : Apps.Workbench.t) = function
+    | `Race -> (
+      (* Drop an interior barrier when there is one (the classic
+         tile-loop race); kernels with a single barrier lose that. *)
+      try Kir.Mutate.drop_sync ~index:1 with Kir.Mutate.Mutate_error _ -> Kir.Mutate.drop_sync ~index:0)
+    | `Bank -> (
+      match wb.Apps.Workbench.wb_kernel.Kir.Ast.shared_decls with
+      | (arr, _) :: _ -> Kir.Mutate.transpose_store ~array:arr
+      | [] -> failwith (wb.Apps.Workbench.wb_app ^ " uses no shared memory; nothing to mutate"))
+  in
+  let run (e : Apps.Registry.entry) config mutate crossval =
+    match e.workbench ?config () with
+    | Error msg -> prerr_endline msg; exit 1
+    | Ok wb ->
+      let report =
+        match mutate with
+        | None -> Apps.Workbench.lint wb
+        | Some m -> Apps.Workbench.lint_mutant wb (mutation wb m)
+      in
+      print_string (Analysis.Lint.render report);
+      if crossval then begin
+        Printf.printf "\ncross-validation against the simulator:\n";
+        print_string
+          (Analysis.Crossval.render
+             (Apps.Workbench.crossval ?mutate:(Option.map (mutation wb) mutate) wb))
+      end;
+      if Analysis.Lint.has_errors report then exit 1
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ app_arg $ config_arg $ mutate_arg $ crossval_arg)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minicuda source file")
@@ -260,4 +330,7 @@ let run_cmd =
 let () =
   let doc = "program optimization space pruning for a multithreaded GPU (CGO'08 reproduction)" in
   let info = Cmd.info "gpuopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ arch_cmd; explore_cmd; tune_cmd; inspect_cmd; compile_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ arch_cmd; explore_cmd; tune_cmd; inspect_cmd; lint_cmd; compile_cmd; run_cmd ]))

@@ -1,0 +1,156 @@
+(* The abstract domain of the static memory analyzer: integer affine
+   forms
+
+       c0 + c1·tid.x + c2·tid.y + c3·bid.x + c4·bid.y + Σ ci·loop_i
+
+   over the thread/block indices and the enclosing loop counters, with
+   a ⊤ element for everything the domain cannot represent (data-
+   dependent indices, inexact division, non-constant min/max, ...).
+   ⊤ carries the reason it arose, so lint reports can say *why* a site
+   is not analyzable instead of silently dropping it.
+
+   Every non-⊤ form is exact, not an approximation: evaluating it at a
+   concrete (tid, bid, loop) assignment gives precisely the value the
+   interpreter and the simulator compute.  That is what licenses the
+   cross-validation harness to demand bit-exact agreement with the
+   simulator's dynamic counters on non-⊤ sites. *)
+
+type term =
+  | TidX
+  | TidY
+  | BidX
+  | BidY
+  | Loop of int  (* unique id of one loop *instance* in the walk *)
+
+type t =
+  | Affine of { c0 : int; terms : (term * int) list }
+      (* [terms] sorted by [compare_term], coefficients non-zero *)
+  | Top of string  (* why the value fell out of the domain *)
+
+let compare_term (a : term) (b : term) = compare a b
+
+let const c = Affine { c0 = c; terms = [] }
+let of_term t = Affine { c0 = 0; terms = [ (t, 1) ] }
+let top why = Top why
+
+let as_const = function Affine { c0; terms = [] } -> Some c0 | _ -> None
+let is_top = function Top _ -> true | Affine _ -> false
+let top_reason = function Top why -> Some why | Affine _ -> None
+
+(* Merge two sorted coefficient lists, adding coefficients of equal
+   terms and dropping zeros. *)
+let rec merge a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (ta, ca) :: ra, (tb, cb) :: rb ->
+    let c = compare_term ta tb in
+    if c < 0 then (ta, ca) :: merge ra b
+    else if c > 0 then (tb, cb) :: merge a rb
+    else
+      let s = ca + cb in
+      if s = 0 then merge ra rb else (ta, s) :: merge ra rb
+
+let add x y =
+  match (x, y) with
+  | Top w, _ | _, Top w -> Top w
+  | Affine a, Affine b -> Affine { c0 = a.c0 + b.c0; terms = merge a.terms b.terms }
+
+let neg = function
+  | Top w -> Top w
+  | Affine a -> Affine { c0 = -a.c0; terms = List.map (fun (t, c) -> (t, -c)) a.terms }
+
+let sub x y = add x (neg y)
+
+let scale k = function
+  | Top w -> Top w
+  | Affine _ when k = 0 -> const 0
+  | Affine a -> Affine { c0 = k * a.c0; terms = List.map (fun (t, c) -> (t, k * c)) a.terms }
+
+(* Multiplication stays in the domain only when one side is constant. *)
+let mul x y =
+  match (as_const x, as_const y) with
+  | Some k, _ -> scale k y
+  | _, Some k -> scale k x
+  | None, None -> top "non-affine product"
+
+(* Division by a constant is exact iff it divides every coefficient
+   (then v = d·q holds identically, for any assignment).  Matches the
+   simulator's convention that division by zero yields 0. *)
+let div x y =
+  match (x, as_const y) with
+  | _, Some 0 -> const 0
+  | Affine a, Some d
+    when a.c0 mod d = 0 && List.for_all (fun (_, c) -> c mod d = 0) a.terms ->
+    Affine { c0 = a.c0 / d; terms = List.map (fun (t, c) -> (t, c / d)) a.terms }
+  | _, _ -> top "inexact division"
+
+let rem x y =
+  match (as_const x, as_const y) with
+  | Some a, Some b -> const (if b = 0 then 0 else a mod b)
+  | _ -> top "non-constant remainder"
+
+let imin x y =
+  match (as_const x, as_const y) with
+  | Some a, Some b -> const (min a b)
+  | _ -> top "non-constant min"
+
+let imax x y =
+  match (as_const x, as_const y) with
+  | Some a, Some b -> const (max a b)
+  | _ -> top "non-constant max"
+
+(* Bit operations: constant-fold only. *)
+let bitop op x y =
+  match (as_const x, as_const y) with
+  | Some a, Some b -> const (op a b)
+  | _ -> top "non-constant bit operation"
+
+(* True when the form does not depend on the thread index — every lane
+   of a warp computes the same value (e.g. loop bounds must be uniform
+   for the per-warp trip count to be well defined). *)
+let uniform = function
+  | Top _ -> false
+  | Affine a -> List.for_all (fun (t, _) -> t <> TidX && t <> TidY) a.terms
+
+(* Evaluate at a concrete assignment.  [loop] maps a loop id to its
+   current counter value. *)
+let eval ~tid_x ~tid_y ~bid_x ~bid_y ~(loop : int -> int) (x : t) : int option =
+  match x with
+  | Top _ -> None
+  | Affine a ->
+    Some
+      (List.fold_left
+         (fun acc (t, c) ->
+           let v =
+             match t with
+             | TidX -> tid_x
+             | TidY -> tid_y
+             | BidX -> bid_x
+             | BidY -> bid_y
+             | Loop i -> loop i
+           in
+           acc + (c * v))
+         a.c0 a.terms)
+
+(* Rendering: "16·tid.y + tid.x + 8" style; [loop_name] maps loop ids
+   back to source loop-variable names. *)
+let to_string ?(loop_name = fun i -> Printf.sprintf "L%d" i) (x : t) : string =
+  match x with
+  | Top why -> "⊤ (" ^ why ^ ")"
+  | Affine { c0; terms } ->
+    let term_str (t, c) =
+      let name =
+        match t with
+        | TidX -> "tid.x"
+        | TidY -> "tid.y"
+        | BidX -> "bid.x"
+        | BidY -> "bid.y"
+        | Loop i -> loop_name i
+      in
+      if c = 1 then name
+      else if c = -1 then "-" ^ name
+      else Printf.sprintf "%d·%s" c name
+    in
+    let parts = List.map term_str terms @ (if c0 <> 0 then [ string_of_int c0 ] else []) in
+    let parts = if parts = [] then [ "0" ] else parts in
+    String.concat " + " parts

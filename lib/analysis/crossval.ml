@@ -1,0 +1,135 @@
+(* Cross-validation harness: run the analyzer's per-site predictions
+   against the simulator's per-site dynamic counters on the same
+   launch, and diff them site by site.
+
+   The simulator runs the *raw* lowering (the program
+   [Kir.Lower.lower_with_sites] returns), so the (label, index) keys
+   of the site table identify exactly the instructions the static
+   analysis reasoned about.  Functional mode executes every block of
+   the grid, matching the enumeration engine's coverage, so agreement
+   on affine-analyzable sites must be exact — any difference is a bug
+   in one of the two models.  ⊤ sites are listed with their dynamic
+   counts but carry no prediction. *)
+
+type counters = { execs : int; tx : int; bytes : int; replays : int }
+
+type site_diff = {
+  d_site : Kir.Lower.site;
+  d_desc : string;  (* rendered provenance *)
+  d_static : (counters, string) result;  (* Error = ⊤ reason *)
+  d_dynamic : counters;
+}
+
+type t = {
+  cv_name : string;
+  cv_sites : site_diff list;
+  cv_total : int;
+  cv_checked : int;  (* affine-analyzable sites compared *)
+  cv_top : int;  (* ⊤ sites (reported, not compared) *)
+  cv_mismatches : int;
+}
+
+let exact (d : site_diff) : bool =
+  match d.d_static with Error _ -> true | Ok s -> s = d.d_dynamic
+
+(* Static prediction normalized per space: off-chip spaces predict
+   transactions and bytes, on-chip spaces predict replays. *)
+let static_counters (env : Access.launch_env) (info : Access.info) : (counters, string) result =
+  match Access.analyzable info with
+  | Error r -> Error r
+  | Ok () -> (
+    try
+      match info.Access.i_space with
+      | Kir.Ast.Global | Kir.Ast.Local ->
+        let p = Coalesce.predict env info in
+        Ok { execs = p.Coalesce.p_execs; tx = p.Coalesce.p_tx; bytes = p.Coalesce.p_bytes; replays = 0 }
+      | Kir.Ast.Shared | Kir.Ast.Const ->
+        let p = Bank.predict env info in
+        Ok { execs = p.Bank.b_execs; tx = 0; bytes = 0; replays = p.Bank.b_replays }
+    with Access.Unpredictable r -> Error r)
+
+let run ~(dev : Gpu.Device.t) (inp : Lint.input) : t =
+  let ptx, lsites = Kir.Lower.lower_with_sites inp.Lint.li_kernel in
+  let params = Lint.int_params inp in
+  let infos =
+    Access.sites_of ~block:inp.Lint.li_block ~grid:inp.Lint.li_grid ~params inp.Lint.li_kernel
+  in
+  if List.length lsites <> List.length infos then
+    failwith "Analysis.Crossval: walker out of sync with the lowering";
+  let env = Lint.launch_env inp in
+  (* Execute on a clone: cross-validation must not clobber the
+     caller's device memory. *)
+  let stats =
+    Gpu.Sim.run ~mode:Gpu.Sim.Functional (Gpu.Device.clone dev)
+      {
+        Gpu.Sim.kernel = ptx;
+        grid = inp.Lint.li_grid;
+        block = inp.Lint.li_block;
+        args = inp.Lint.li_args;
+      }
+  in
+  let dyn : (string * int, counters) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (sc : Gpu.Sim.site_counter) ->
+      Hashtbl.replace dyn
+        (sc.Gpu.Sim.sc_label, sc.Gpu.Sim.sc_index)
+        {
+          execs = sc.Gpu.Sim.sc_execs;
+          tx = sc.Gpu.Sim.sc_tx;
+          bytes = sc.Gpu.Sim.sc_bytes;
+          replays = sc.Gpu.Sim.sc_replays;
+        })
+    stats.Gpu.Sim.site_counters;
+  let sites =
+    List.map2
+      (fun (ls : Kir.Lower.site) (info : Access.info) ->
+        let dynamic =
+          match Hashtbl.find_opt dyn (ls.Kir.Lower.s_label, ls.Kir.Lower.s_index) with
+          | Some c -> c
+          | None ->
+            failwith
+              (Printf.sprintf "Analysis.Crossval: no dynamic counter for site %s+%d"
+                 ls.Kir.Lower.s_label ls.Kir.Lower.s_index)
+        in
+        let loop_name = Access.loop_namer info in
+        let desc =
+          Printf.sprintf "%s %s[%s] @%s+%d"
+            (Lint.kind_str info.Access.i_kind)
+            info.Access.i_array
+            (Affine.to_string ~loop_name info.Access.i_index)
+            ls.Kir.Lower.s_label ls.Kir.Lower.s_index
+        in
+        { d_site = ls; d_desc = desc; d_static = static_counters env info; d_dynamic = dynamic })
+      lsites infos
+  in
+  let checked = List.length (List.filter (fun d -> Result.is_ok d.d_static) sites) in
+  let top = List.length sites - checked in
+  let mismatches = List.length (List.filter (fun d -> not (exact d)) sites) in
+  {
+    cv_name = inp.Lint.li_name;
+    cv_sites = sites;
+    cv_total = List.length sites;
+    cv_checked = checked;
+    cv_top = top;
+    cv_mismatches = mismatches;
+  }
+
+let render (r : t) : string =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "%s: %d sites — %d checked, %d ⊤, %d mismatch%s\n" r.cv_name r.cv_total r.cv_checked
+    r.cv_top r.cv_mismatches
+    (if r.cv_mismatches = 1 then "" else "es");
+  List.iter
+    (fun d ->
+      let { execs; tx; bytes; replays } = d.d_dynamic in
+      match d.d_static with
+      | Error why ->
+        pf "  [⊤   ] %-48s dyn: %d execs %d tx %d B %d replays (%s)\n" d.d_desc execs tx bytes
+          replays why
+      | Ok s ->
+        let tag = if s = d.d_dynamic then "ok  " else "DIFF" in
+        pf "  [%s] %-48s static: %d execs %d tx %d B %d replays | dynamic: %d execs %d tx %d B %d replays\n"
+          tag d.d_desc s.execs s.tx s.bytes s.replays execs tx bytes replays)
+    r.cv_sites;
+  Buffer.contents buf

@@ -134,23 +134,30 @@ let setup ?(npx = default_npx) ?(npy = default_npy) ?(natoms = default_natoms) ?
   Gpu.Device.to_device dev atoms_buf hatoms;
   { npx; npy; natoms; scale; z0 = Util.Float32.round 0.5; dev; atoms = atoms_buf; out; hatoms }
 
-let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
-  {
-    Gpu.Sim.kernel = k;
-    grid = (p.npx / (block_x * c.tiling), p.npy / c.block_y);
-    block = (block_x, c.block_y);
-    args =
-      [
-        ("npx", Gpu.Sim.I p.npx);
-        ("scale", Gpu.Sim.F p.scale);
-        ("z0", Gpu.Sim.F p.z0);
-        ("atoms", Gpu.Sim.Buf p.atoms);
-        ("V", Gpu.Sim.Buf p.out);
-      ];
-  }
+(* Launch geometry and arguments, independent of the compiled kernel —
+   the static analyzer consumes these before any PTX exists. *)
+let launch_shape (p : problem) (c : config) : (int * int) * (int * int) =
+  ((p.npx / (block_x * c.tiling), p.npy / c.block_y), (block_x, c.block_y))
 
-let compile ?(natoms = default_natoms) ?verify ?hook (c : config) : Tuner.Pipeline.compiled =
-  Tuner.Pipeline.compile ?verify ?hook (schedule c) (kernel ~natoms c)
+let args_of (p : problem) : (string * Gpu.Sim.arg) list =
+  [
+    ("npx", Gpu.Sim.I p.npx);
+    ("scale", Gpu.Sim.F p.scale);
+    ("z0", Gpu.Sim.F p.z0);
+    ("atoms", Gpu.Sim.Buf p.atoms);
+    ("V", Gpu.Sim.Buf p.out);
+  ]
+
+let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
+  let grid, block = launch_shape p c in
+  { Gpu.Sim.kernel = k; grid; block; args = args_of p }
+
+let analysis_input_of (p : problem) (c : config) : Tuner.Pipeline.analysis_input =
+  let grid, block = launch_shape p c in
+  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p }
+
+let compile ?(natoms = default_natoms) ?verify ?hook ?analyze (c : config) : Tuner.Pipeline.compiled =
+  Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~natoms c)
 
 let candidates ?(npx = default_npx) ?(npy = default_npy) ?(natoms = default_natoms)
     ?(max_blocks = 8) () : Tuner.Candidate.t list =

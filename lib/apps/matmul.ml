@@ -157,18 +157,26 @@ let setup ?(n = default_n) ?(seed = 11) () : problem =
   Gpu.Device.to_device dev b hb;
   { n; dev; a; b; c; ha; hb }
 
+(* Launch geometry and arguments, independent of the compiled kernel —
+   the static analyzer consumes these before any PTX exists. *)
+let launch_shape (p : problem) (cfg : config) : (int * int) * (int * int) =
+  ((p.n / (cfg.tile * cfg.rect), p.n / cfg.tile), (cfg.tile, cfg.tile))
+
+let args_of (p : problem) : (string * Gpu.Sim.arg) list =
+  [ ("A", Gpu.Sim.Buf p.a); ("B", Gpu.Sim.Buf p.b); ("C", Gpu.Sim.Buf p.c) ]
+
 let launch_of (p : problem) (cfg : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
-  {
-    Gpu.Sim.kernel = k;
-    grid = (p.n / (cfg.tile * cfg.rect), p.n / cfg.tile);
-    block = (cfg.tile, cfg.tile);
-    args = [ ("A", Gpu.Sim.Buf p.a); ("B", Gpu.Sim.Buf p.b); ("C", Gpu.Sim.Buf p.c) ];
-  }
+  let grid, block = launch_shape p cfg in
+  { Gpu.Sim.kernel = k; grid; block; args = args_of p }
+
+let analysis_input_of (p : problem) (cfg : config) : Tuner.Pipeline.analysis_input =
+  let grid, block = launch_shape p cfg in
+  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p }
 
 (* The one compile entry point: [schedule c] applied to the base kernel
    through the verified pipeline. *)
-let compile ?(n = default_n) ?verify ?hook (c : config) : Tuner.Pipeline.compiled =
-  Tuner.Pipeline.compile ?verify ?hook (schedule c) (kernel ~n c)
+let compile ?(n = default_n) ?verify ?hook ?analyze (c : config) : Tuner.Pipeline.compiled =
+  Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~n c)
 
 (* Build the full candidate list for the tuner: compile every
    configuration through the pipeline, characterize it statically, and

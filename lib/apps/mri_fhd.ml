@@ -158,26 +158,33 @@ let setup ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?(seed = 19) () 
   Gpu.Device.to_device dev vz hvz;
   { nsamples; nvox; dev; samp; vx; vy; vz; outre; outim; hsamp; hvx; hvy; hvz }
 
-let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
+(* Launch geometry and arguments, independent of the compiled kernel —
+   the static analyzer consumes these before any PTX exists. *)
+let launch_shape (p : problem) (c : config) : (int * int) * (int * int) =
   let threads = p.nvox / c.wpt in
-  {
-    Gpu.Sim.kernel = k;
-    grid = (Util.Stats.cdiv threads c.tpb, 1);
-    block = (c.tpb, 1);
-    args =
-      [
-        ("samp", Gpu.Sim.Buf p.samp);
-        ("vx", Gpu.Sim.Buf p.vx);
-        ("vy", Gpu.Sim.Buf p.vy);
-        ("vz", Gpu.Sim.Buf p.vz);
-        ("outre", Gpu.Sim.Buf p.outre);
-        ("outim", Gpu.Sim.Buf p.outim);
-      ];
-  }
+  ((Util.Stats.cdiv threads c.tpb, 1), (c.tpb, 1))
 
-let compile ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?verify ?hook (c : config) :
-    Tuner.Pipeline.compiled =
-  Tuner.Pipeline.compile ?verify ?hook (schedule c) (kernel ~nsamples ~nvox c)
+let args_of (p : problem) : (string * Gpu.Sim.arg) list =
+  [
+    ("samp", Gpu.Sim.Buf p.samp);
+    ("vx", Gpu.Sim.Buf p.vx);
+    ("vy", Gpu.Sim.Buf p.vy);
+    ("vz", Gpu.Sim.Buf p.vz);
+    ("outre", Gpu.Sim.Buf p.outre);
+    ("outim", Gpu.Sim.Buf p.outim);
+  ]
+
+let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
+  let grid, block = launch_shape p c in
+  { Gpu.Sim.kernel = k; grid; block; args = args_of p }
+
+let analysis_input_of (p : problem) (c : config) : Tuner.Pipeline.analysis_input =
+  let grid, block = launch_shape p c in
+  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p }
+
+let compile ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?verify ?hook ?analyze
+    (c : config) : Tuner.Pipeline.compiled =
+  Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~nsamples ~nvox c)
 
 let candidates ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?(max_blocks = 3) () :
     Tuner.Candidate.t list =

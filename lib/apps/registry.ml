@@ -22,14 +22,22 @@ type entry = {
   compile :
     ?verify:bool ->
     ?hook:(Tuner.Pipeline.stat -> unit) ->
+    ?analyze:Tuner.Pipeline.analysis_input ->
     string ->
     (Tuner.Pipeline.compiled, string) result;
       (* compile one configuration, selected by its description *)
+  workbench : ?config:string -> unit -> (Workbench.t, string) result;
+      (* quick-scale problem + compiled default (or named) config, for
+         the static analyzer and its cross-validation harness *)
 }
 
 let entry (type c) ~name ~display ~title ~(space : c Tuner.Space.t) ~(describe : c -> string)
-    ~(compile : ?verify:bool -> ?hook:(Tuner.Pipeline.stat -> unit) -> c -> Tuner.Pipeline.compiled)
-    ~candidates ~quick ~bench () : entry =
+    ~(compile :
+        ?verify:bool ->
+        ?hook:(Tuner.Pipeline.stat -> unit) ->
+        ?analyze:Tuner.Pipeline.analysis_input ->
+        c ->
+        Tuner.Pipeline.compiled) ~workbench ~candidates ~quick ~bench () : entry =
   {
     name;
     display;
@@ -42,17 +50,19 @@ let entry (type c) ~name ~display ~title ~(space : c Tuner.Space.t) ~(describe :
     quick_candidates = quick;
     bench_candidates = bench;
     compile =
-      (fun ?verify ?hook desc ->
+      (fun ?verify ?hook ?analyze desc ->
         match Tuner.Space.find ~describe space desc with
-        | Some cfg -> Ok (compile ?verify ?hook cfg)
+        | Some cfg -> Ok (compile ?verify ?hook ?analyze cfg)
         | None -> Error (Printf.sprintf "%s: no configuration %S" name desc));
+    workbench;
   }
 
 let matmul =
   entry ~name:"matmul" ~display:"Matrix Multiplication"
     ~title:"dense matrix multiplication (paper's running example, Figure 3)" ~space:Matmul.space
     ~describe:Matmul.describe
-    ~compile:(fun ?verify ?hook c -> Matmul.compile ?verify ?hook c)
+    ~compile:(fun ?verify ?hook ?analyze c -> Matmul.compile ?verify ?hook ?analyze c)
+    ~workbench:(fun ?config () -> Workbench.matmul ?config ())
     ~candidates:(fun () -> Matmul.candidates ())
     ~quick:(fun () -> Matmul.candidates ~n:64 ~max_blocks:2 ())
     ~bench:(fun () -> Matmul.candidates ~n:256 ~max_blocks:8 ())
@@ -61,7 +71,8 @@ let matmul =
 let cp =
   entry ~name:"cp" ~display:"CP" ~title:"coulombic potential over a grid slice (Figure 5)"
     ~space:Cp.space ~describe:Cp.describe
-    ~compile:(fun ?verify ?hook c -> Cp.compile ?verify ?hook c)
+    ~compile:(fun ?verify ?hook ?analyze c -> Cp.compile ?verify ?hook ?analyze c)
+    ~workbench:(fun ?config () -> Workbench.cp ?config ())
     ~candidates:(fun () -> Cp.candidates ())
     ~quick:(fun () -> Cp.candidates ~npx:256 ~npy:16 ~natoms:16 ~max_blocks:2 ())
     ~bench:(fun () -> Cp.candidates ())
@@ -70,7 +81,8 @@ let cp =
 let sad =
   entry ~name:"sad" ~display:"SAD" ~title:"sums of absolute differences for motion estimation (Figure 4)"
     ~space:Sad.space ~describe:Sad.describe
-    ~compile:(fun ?verify ?hook c -> Sad.compile ?verify ?hook c)
+    ~compile:(fun ?verify ?hook ?analyze c -> Sad.compile ?verify ?hook ?analyze c)
+    ~workbench:(fun ?config () -> Workbench.sad ?config ())
     ~candidates:(fun () -> Sad.candidates ())
     ~quick:(fun () -> Sad.candidates ~w:32 ~h:16 ~sr:2 ~max_blocks:2 ())
     ~bench:(fun () -> Sad.candidates ())
@@ -79,7 +91,8 @@ let sad =
 let mri_fhd =
   entry ~name:"mri" ~display:"MRI-FHD" ~title:"F^H d for non-Cartesian MRI reconstruction (Figure 6(b))"
     ~space:Mri_fhd.space ~describe:Mri_fhd.describe
-    ~compile:(fun ?verify ?hook c -> Mri_fhd.compile ?verify ?hook c)
+    ~compile:(fun ?verify ?hook ?analyze c -> Mri_fhd.compile ?verify ?hook ?analyze c)
+    ~workbench:(fun ?config () -> Workbench.mri ?config ())
     ~candidates:(fun () -> Mri_fhd.candidates ())
     ~quick:(fun () -> Mri_fhd.candidates ~nsamples:8 ~nvox:3360 ~max_blocks:1 ())
     ~bench:(fun () -> Mri_fhd.candidates ())

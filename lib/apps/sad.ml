@@ -201,21 +201,28 @@ let setup ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?(seed = 17) () :
   Gpu.Device.to_device dev reff href;
   { w; h; sr; dev; cur; reff; sads; hcur; href }
 
-let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
+(* Launch geometry and arguments, independent of the compiled kernel —
+   the static analyzer consumes these before any PTX exists. *)
+let launch_shape (p : problem) (c : config) : (int * int) * (int * int) =
   let mbs = p.w / mb * (p.h / mb) in
   let nvec = 4 * p.sr * p.sr in
   let chunks = Util.Stats.cdiv nvec (c.tpb * c.tiling) in
-  {
-    Gpu.Sim.kernel = k;
-    grid = (mbs, chunks);
-    block = (c.tpb, 1);
-    args =
-      [ ("cur", Gpu.Sim.Buf p.cur); ("reff", Gpu.Sim.Buf p.reff); ("sads", Gpu.Sim.Buf p.sads) ];
-  }
+  ((mbs, chunks), (c.tpb, 1))
 
-let compile ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?verify ?hook (c : config) :
-    Tuner.Pipeline.compiled =
-  Tuner.Pipeline.compile ?verify ?hook (schedule c) (kernel ~w ~h ~sr c)
+let args_of (p : problem) : (string * Gpu.Sim.arg) list =
+  [ ("cur", Gpu.Sim.Buf p.cur); ("reff", Gpu.Sim.Buf p.reff); ("sads", Gpu.Sim.Buf p.sads) ]
+
+let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
+  let grid, block = launch_shape p c in
+  { Gpu.Sim.kernel = k; grid; block; args = args_of p }
+
+let analysis_input_of (p : problem) (c : config) : Tuner.Pipeline.analysis_input =
+  let grid, block = launch_shape p c in
+  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p }
+
+let compile ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?verify ?hook ?analyze
+    (c : config) : Tuner.Pipeline.compiled =
+  Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~w ~h ~sr c)
 
 let candidates ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?(max_blocks = 8) () :
     Tuner.Candidate.t list =

@@ -1,0 +1,146 @@
+(* Quick-scale analysis workbenches: one per application, bundling a
+   small staged problem, a chosen configuration compiled through the
+   pipeline's analyze stage, and the launch geometry the analyzer
+   reasoned about.  `gpuopt lint`, the bench harness's lint exhibit and
+   the cross-validation tests all start from here, so they agree on
+   problem sizes by construction.
+
+   The problems are deliberately tiny (the matmul validation size, the
+   apps' own quick/smoke sizes): cross-validation replays every block
+   of the grid in the functional simulator, so the workbench scale is
+   what bounds its cost. *)
+
+type t = {
+  wb_app : string;  (* registry name *)
+  wb_config : string;  (* configuration description *)
+  wb_dev : Gpu.Device.t;  (* device holding the staged buffers *)
+  wb_kernel : Kir.Ast.kernel;  (* post-KIR-pass source, as analyzed *)
+  wb_grid : int * int;
+  wb_block : int * int;
+  wb_args : (string * Gpu.Sim.arg) list;
+  wb_compiled : Tuner.Pipeline.compiled;  (* lint = Some _ *)
+}
+
+let lint_input ?name (wb : t) : Analysis.Lint.input =
+  {
+    Analysis.Lint.li_name =
+      (match name with Some n -> n | None -> Printf.sprintf "%s %s" wb.wb_app wb.wb_config);
+    li_kernel = wb.wb_kernel;
+    li_grid = wb.wb_grid;
+    li_block = wb.wb_block;
+    li_args = wb.wb_args;
+  }
+
+(* The lint report the pipeline's analyze stage produced. *)
+let lint (wb : t) : Analysis.Lint.report =
+  match wb.wb_compiled.Tuner.Pipeline.lint with
+  | Some r -> { r with Analysis.Lint.r_name = Printf.sprintf "%s %s" wb.wb_app wb.wb_config }
+  | None -> Analysis.Lint.analyze (lint_input wb)
+
+(* Re-analyze a mutated variant of the workbench kernel (dropped
+   barrier, transposed store, ...) under the same launch. *)
+let lint_mutant (wb : t) (mutate : Kir.Ast.kernel -> Kir.Ast.kernel) : Analysis.Lint.report =
+  Analysis.Lint.analyze
+    { (lint_input wb ~name:(Printf.sprintf "%s %s (mutant)" wb.wb_app wb.wb_config)) with
+      Analysis.Lint.li_kernel = mutate wb.wb_kernel
+    }
+
+(* Diff static predictions against the simulator's per-site counters;
+   [?mutate] cross-validates a mutated kernel instead. *)
+let crossval ?mutate (wb : t) : Analysis.Crossval.t =
+  let inp = lint_input wb in
+  let inp =
+    match mutate with
+    | None -> inp
+    | Some f -> { inp with Analysis.Lint.li_kernel = f wb.wb_kernel }
+  in
+  Analysis.Crossval.run ~dev:wb.wb_dev inp
+
+(* ------------------------------------------------------------------ *)
+(* Per-app builders                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let resolve (type c) (space : c Tuner.Space.t) (describe : c -> string) (config : string option)
+    : (c, string) result =
+  match config with
+  | None -> Ok (List.hd (Tuner.Space.configs space))
+  | Some d -> (
+    match Tuner.Space.find ~describe space d with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "no configuration %S" d))
+
+let matmul ?config () : (t, string) result =
+  Result.map
+    (fun cfg ->
+      let n = 64 in
+      let p = Matmul.setup ~n () in
+      let ai = Matmul.analysis_input_of p cfg in
+      let c = Matmul.compile ~n ~analyze:ai cfg in
+      {
+        wb_app = "matmul";
+        wb_config = Matmul.describe cfg;
+        wb_dev = p.Matmul.dev;
+        wb_kernel = c.Tuner.Pipeline.source;
+        wb_grid = ai.Tuner.Pipeline.an_grid;
+        wb_block = ai.Tuner.Pipeline.an_block;
+        wb_args = ai.Tuner.Pipeline.an_args;
+        wb_compiled = c;
+      })
+    (resolve Matmul.space Matmul.describe config)
+
+let cp ?config () : (t, string) result =
+  Result.map
+    (fun cfg ->
+      let natoms = 16 in
+      let p = Cp.setup ~npx:256 ~npy:16 ~natoms () in
+      let ai = Cp.analysis_input_of p cfg in
+      let c = Cp.compile ~natoms ~analyze:ai cfg in
+      {
+        wb_app = "cp";
+        wb_config = Cp.describe cfg;
+        wb_dev = p.Cp.dev;
+        wb_kernel = c.Tuner.Pipeline.source;
+        wb_grid = ai.Tuner.Pipeline.an_grid;
+        wb_block = ai.Tuner.Pipeline.an_block;
+        wb_args = ai.Tuner.Pipeline.an_args;
+        wb_compiled = c;
+      })
+    (resolve Cp.space Cp.describe config)
+
+let sad ?config () : (t, string) result =
+  Result.map
+    (fun cfg ->
+      let w = 32 and h = 16 and sr = 2 in
+      let p = Sad.setup ~w ~h ~sr () in
+      let ai = Sad.analysis_input_of p cfg in
+      let c = Sad.compile ~w ~h ~sr ~analyze:ai cfg in
+      {
+        wb_app = "sad";
+        wb_config = Sad.describe cfg;
+        wb_dev = p.Sad.dev;
+        wb_kernel = c.Tuner.Pipeline.source;
+        wb_grid = ai.Tuner.Pipeline.an_grid;
+        wb_block = ai.Tuner.Pipeline.an_block;
+        wb_args = ai.Tuner.Pipeline.an_args;
+        wb_compiled = c;
+      })
+    (resolve Sad.space Sad.describe config)
+
+let mri ?config () : (t, string) result =
+  Result.map
+    (fun cfg ->
+      let nsamples = 8 and nvox = 3360 in
+      let p = Mri_fhd.setup ~nsamples ~nvox () in
+      let ai = Mri_fhd.analysis_input_of p cfg in
+      let c = Mri_fhd.compile ~nsamples ~nvox ~analyze:ai cfg in
+      {
+        wb_app = "mri";
+        wb_config = Mri_fhd.describe cfg;
+        wb_dev = p.Mri_fhd.dev;
+        wb_kernel = c.Tuner.Pipeline.source;
+        wb_grid = ai.Tuner.Pipeline.an_grid;
+        wb_block = ai.Tuner.Pipeline.an_block;
+        wb_args = ai.Tuner.Pipeline.an_args;
+        wb_compiled = c;
+      })
+    (resolve Mri_fhd.space Mri_fhd.describe config)

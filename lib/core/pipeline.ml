@@ -19,12 +19,13 @@
    `gpuopt inspect --trace` and the bench harness's `trace` exhibit
    print these. *)
 
-type layer = Kir | Lower | Ptx | Characterize
+type layer = Kir | Lower | Ptx | Analyze | Characterize
 
 let layer_name = function
   | Kir -> "kir"
   | Lower -> "lower"
   | Ptx -> "ptx"
+  | Analyze -> "analyze"
   | Characterize -> "characterize"
 
 type stat = {
@@ -34,6 +35,7 @@ type stat = {
   size_after : int;
   regs : int;  (* allocated registers/thread after this stage (0 for KIR) *)
   elapsed_s : float;
+  notes : string list;  (* per-stage diagnostics (the analyze stage's lints) *)
 }
 
 type kir_pass = { kp_name : string; kp_fn : Kir.Ast.kernel -> Kir.Ast.kernel }
@@ -70,6 +72,17 @@ type compiled = {
   ptx : Ptx.Prog.t;  (* the optimized kernel the simulator runs *)
   resource : Ptx.Resource.t;
   profile : Ptx.Count.profile;
+  lint : Analysis.Lint.report option;  (* filled by the analyze stage *)
+}
+
+(* Launch geometry for the static memory-access analyzer: the affine
+   analysis is per-launch (grid, block, argument bases), not
+   per-kernel, so callers that want the analyze stage must say what
+   launch they are compiling for. *)
+type analysis_input = {
+  an_grid : int * int;
+  an_block : int * int;
+  an_args : (string * Gpu.Sim.arg) list;
 }
 
 exception Pass_failed of { stage : string; reason : string }
@@ -94,7 +107,7 @@ let rec stmt_count (ss : Kir.Ast.stmt list) : int =
 
 let kir_size (k : Kir.Ast.kernel) = stmt_count k.body
 
-let compile ?(verify = true) ?hook (sched : schedule) (kernel : Kir.Ast.kernel) : compiled =
+let compile ?(verify = true) ?hook ?analyze (sched : schedule) (kernel : Kir.Ast.kernel) : compiled =
   let emit stat = match hook with Some f -> f stat | None -> () in
   let timed f x =
     let t0 = Unix.gettimeofday () in
@@ -130,6 +143,7 @@ let compile ?(verify = true) ?hook (sched : schedule) (kernel : Kir.Ast.kernel) 
             size_after = kir_size k';
             regs = 0;
             elapsed_s = dt;
+            notes = [];
           };
         k')
       kernel sched.kir_passes
@@ -145,6 +159,7 @@ let compile ?(verify = true) ?hook (sched : schedule) (kernel : Kir.Ast.kernel) 
       size_after = Ptx.Prog.static_size ptx0;
       regs = regs_of ptx0;
       elapsed_s = dt;
+      notes = [];
     };
   let run_one layer name p fn =
     let before = Ptx.Prog.static_size p in
@@ -157,6 +172,7 @@ let compile ?(verify = true) ?hook (sched : schedule) (kernel : Kir.Ast.kernel) 
         size_after = Ptx.Prog.static_size p';
         regs = regs_of p';
         elapsed_s = dt;
+        notes = [];
       };
     p'
   in
@@ -184,6 +200,38 @@ let compile ?(verify = true) ?hook (sched : schedule) (kernel : Kir.Ast.kernel) 
       p'
   in
   let ptx = List.fold_left apply_ptx ptx0 sched.ptx_passes in
+  (* Static memory-access analysis of the (post-KIR-pass) source the
+     lowering consumed: affine per-site transaction / bank-conflict
+     prediction plus the shared-memory race check, reported through the
+     hook as the stage's notes. *)
+  let lint =
+    match analyze with
+    | None -> None
+    | Some a ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Analysis.Lint.analyze
+          {
+            Analysis.Lint.li_name = kernel.Kir.Ast.kname;
+            li_kernel = kir;
+            li_grid = a.an_grid;
+            li_block = a.an_block;
+            li_args = a.an_args;
+          }
+      in
+      let nsites = List.length r.Analysis.Lint.r_sites in
+      emit
+        {
+          stage = "analyze";
+          layer = Analyze;
+          size_before = nsites;
+          size_after = nsites;
+          regs = 0;
+          elapsed_s = Unix.gettimeofday () -. t0;
+          notes = r.Analysis.Lint.r_warnings;
+        };
+      Some r
+  in
   let t0 = Unix.gettimeofday () in
   let resource = Ptx.Resource.of_kernel ptx in
   let profile = Ptx.Count.profile_of ptx in
@@ -195,13 +243,14 @@ let compile ?(verify = true) ?hook (sched : schedule) (kernel : Kir.Ast.kernel) 
       size_after = Ptx.Prog.static_size ptx;
       regs = resource.regs_per_thread;
       elapsed_s = Unix.gettimeofday () -. t0;
+      notes = [];
     };
-  { source = kir; ptx; resource; profile }
+  { source = kir; ptx; resource; profile; lint }
 
 (* Lower + standard PTX optimization, no KIR passes: the entry point
    for already-configured kernels (minicuda files, examples). *)
-let lower_opt ?verify ?hook (k : Kir.Ast.kernel) : compiled =
-  compile ?verify ?hook default_schedule k
+let lower_opt ?verify ?hook ?analyze (k : Kir.Ast.kernel) : compiled =
+  compile ?verify ?hook ?analyze default_schedule k
 
 (* Compile every point of a space into a characterized candidate.  The
    parameter lists come from the space's axes, the kernel and schedule
@@ -219,7 +268,8 @@ let candidates_of_space ?verify ?hook ~(space : 'a Space.t) ~(describe : 'a -> s
         ~threads_total:(threads_total cfg) ~run:(run cfg c.ptx) ())
     (Space.elements space)
 
-(* Render a hook's collected stats as a report table. *)
+(* Render a hook's collected stats as a report table; stage notes (the
+   analyze stage's lint warnings) follow as indented lines. *)
 let trace_table (stats : stat list) : string =
   Report.table
     [ "Stage"; "Layer"; "Size"; "Regs"; "Time" ]
@@ -230,7 +280,11 @@ let trace_table (stats : stat list) : string =
            layer_name s.layer;
            (if s.size_before = s.size_after then string_of_int s.size_after
             else Printf.sprintf "%d -> %d" s.size_before s.size_after);
-           (match s.layer with Kir -> "-" | _ -> string_of_int s.regs);
+           (match s.layer with Kir | Analyze -> "-" | _ -> string_of_int s.regs);
            Printf.sprintf "%.2f ms" (s.elapsed_s *. 1000.0);
          ])
        stats)
+  ^ String.concat ""
+      (List.concat_map
+         (fun s -> List.map (fun n -> Printf.sprintf "  %s: %s\n" s.stage n) s.notes)
+         stats)

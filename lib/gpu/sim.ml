@@ -46,6 +46,21 @@ type mode =
   | Functional  (* execute every block; no occupancy requirement *)
   | Timing of { max_blocks : int }  (* cap simulated blocks on the measured SM *)
 
+(* Dynamic counters for one memory instruction (Ld/St), identified by
+   its (block label, body index) in the launched program.  [sc_tx] and
+   [sc_bytes] accumulate for off-chip spaces (global/local); [sc_replays]
+   accumulates serialization beyond the first issue slot for on-chip
+   spaces (shared bank conflicts, constant-cache non-broadcast). *)
+type site_counter = {
+  sc_label : string;
+  sc_index : int;
+  sc_space : Instr.space;
+  mutable sc_execs : int;  (* warp executions with a non-empty mask *)
+  mutable sc_tx : int;
+  mutable sc_bytes : int;
+  mutable sc_replays : int;
+}
+
 type stats = {
   cycles : float;  (* extrapolated kernel cycles *)
   time_s : float;  (* cycles / 1.35 GHz *)
@@ -57,6 +72,7 @@ type stats = {
   bank_conflict_extra : int;  (* extra issue cycles lost to conflicts *)
   occupancy : Arch.occupancy;
   regs_per_thread : int;
+  site_counters : site_counter list;  (* per Ld/St, in program order *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -201,6 +217,7 @@ type ctx = {
   gdim_y : int;
   timing : bool;
   sm : sm;
+  sites : site_counter option array array;  (* sites.(bi).(off) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -341,10 +358,27 @@ let bank_conflict_degree (addrs : int array) (mask : int) (half : int) : int =
 (* ------------------------------------------------------------------ *)
 
 (* Execute instruction [ins] for warp [w] with active mask [mask],
-   issuing at cycle [c].  Returns the number of cycles the instruction
+   issuing at cycle [c].  [sc] is the per-site counter when [ins] is a
+   memory access.  Returns the number of cycles the instruction
    occupies the issue pipe. *)
-let exec_instr ctx (w : warp) (mask : int) (c : int) (ins : Instr.t) : int =
+let exec_instr ctx (w : warp) (mask : int) (c : int) (sc : site_counter option) (ins : Instr.t) :
+    int =
   let lat = ctx.lat in
+  let count_tx tx bytes =
+    match sc with
+    | Some s ->
+      s.sc_execs <- s.sc_execs + 1;
+      s.sc_tx <- s.sc_tx + tx;
+      s.sc_bytes <- s.sc_bytes + bytes
+    | None -> ()
+  in
+  let count_replays deg =
+    match sc with
+    | Some s ->
+      s.sc_execs <- s.sc_execs + 1;
+      s.sc_replays <- s.sc_replays + (deg - 1)
+    | None -> ()
+  in
   let fidx r lane = (Reg.idx r * 32) + lane in
   let for_lanes f =
     for lane = 0 to 31 do
@@ -492,6 +526,8 @@ let exec_instr ctx (w : warp) (mask : int) (c : int) (ins : Instr.t) : int =
           | Reg.Pred -> w.pregs.(fidx d l) <- v <> 0.0);
       let tx0, by0 = coalesce addrs mask 0 in
       let tx1, by1 = coalesce addrs mask 1 in
+      count_tx (tx0 + tx1)
+        ((if tx0 = 1 then by0 else 64 * tx0) + if tx1 = 1 then by1 else 64 * tx1);
       let cost0 = if tx0 = 1 then ctx.lat.coalesced_tx else ctx.lat.uncoalesced_tx in
       let cost1 = if tx1 = 1 then ctx.lat.coalesced_tx else ctx.lat.uncoalesced_tx in
       let done0 = charge_channel ctx (c + lat.issue) ~tx:tx0 ~bytes:(if tx0 = 1 then by0 else 64 * tx0) ~tx_cost:cost0 in
@@ -510,6 +546,7 @@ let exec_instr ctx (w : warp) (mask : int) (c : int) (ins : Instr.t) : int =
           | Reg.S32 -> w.iregs.(fidx d l) <- int_of_float v
           | Reg.Pred -> w.pregs.(fidx d l) <- v <> 0.0);
       let deg = max (bank_conflict_degree addrs mask 0) (bank_conflict_degree addrs mask 1) in
+      count_replays deg;
       ctx.sm.conflict_extra <- ctx.sm.conflict_extra + ((deg - 1) * lat.issue);
       set_ready w d (c + lat.shared);
       lat.issue * deg
@@ -523,6 +560,7 @@ let exec_instr ctx (w : warp) (mask : int) (c : int) (ins : Instr.t) : int =
           | Reg.S32 -> w.iregs.(fidx d l) <- int_of_float v
           | Reg.Pred -> w.pregs.(fidx d l) <- v <> 0.0);
       let deg = max 1 (Hashtbl.length distinct) in
+      count_replays deg;
       set_ready w d (c + lat.const_hit);
       lat.issue * deg
     | Instr.Local ->
@@ -540,6 +578,7 @@ let exec_instr ctx (w : warp) (mask : int) (c : int) (ins : Instr.t) : int =
           | Reg.S32 -> w.iregs.(fidx d l) <- int_of_float v
           | Reg.Pred -> w.pregs.(fidx d l) <- v <> 0.0);
       let halves = (if mask land 0xFFFF <> 0 then 1 else 0) + if mask land 0xFFFF0000 <> 0 then 1 else 0 in
+      count_tx halves (64 * halves);
       let done_ =
         charge_channel ctx (c + lat.issue) ~tx:halves ~bytes:(64 * halves)
           ~tx_cost:ctx.lat.coalesced_tx
@@ -562,6 +601,8 @@ let exec_instr ctx (w : warp) (mask : int) (c : int) (ins : Instr.t) : int =
       for_lanes (fun l -> Device.write_global ctx.dev addrs.(l) (value l));
       let tx0, by0 = coalesce addrs mask 0 in
       let tx1, by1 = coalesce addrs mask 1 in
+      count_tx (tx0 + tx1)
+        ((if tx0 = 1 then by0 else 64 * tx0) + if tx1 = 1 then by1 else 64 * tx1);
       let cost0 = if tx0 = 1 then ctx.lat.coalesced_tx else ctx.lat.uncoalesced_tx in
       let cost1 = if tx1 = 1 then ctx.lat.coalesced_tx else ctx.lat.uncoalesced_tx in
       let done0 = charge_channel ctx (c + lat.issue) ~tx:tx0 ~bytes:(if tx0 = 1 then by0 else 64 * tx0) ~tx_cost:cost0 in
@@ -575,6 +616,7 @@ let exec_instr ctx (w : warp) (mask : int) (c : int) (ins : Instr.t) : int =
             launch_error "shared store out of bounds (addr %d)" addrs.(l);
           sh.(wi) <- value l);
       let deg = max (bank_conflict_degree addrs mask 0) (bank_conflict_degree addrs mask 1) in
+      count_replays deg;
       ctx.sm.conflict_extra <- ctx.sm.conflict_extra + ((deg - 1) * lat.issue);
       lat.issue * deg
     | Instr.Const -> launch_error "stores to constant memory are not allowed"
@@ -586,6 +628,7 @@ let exec_instr ctx (w : warp) (mask : int) (c : int) (ins : Instr.t) : int =
             launch_error "local store out of bounds (addr %d)" addrs.(l);
           lm.((tid * ctx.ck.lmem_words) + (addrs.(l) lsr 2)) <- value l);
       let halves = (if mask land 0xFFFF <> 0 then 1 else 0) + if mask land 0xFFFF0000 <> 0 then 1 else 0 in
+      count_tx halves (64 * halves);
       ignore
         (charge_channel ctx (c + lat.issue) ~tx:halves ~bytes:(64 * halves)
            ~tx_cost:ctx.lat.coalesced_tx);
@@ -758,7 +801,11 @@ let issue ctx (w : warp) (c : int) : int =
     end;
     ctx.lat.issue
   | `Body ins ->
-    let cost = exec_instr ctx w mask c ins in
+    let sc =
+      let row = ctx.sites.(f.bi) in
+      if f.off < Array.length row then row.(f.off) else None
+    in
+    let cost = exec_instr ctx w mask c sc ins in
     f.off <- f.off + 1;
     w.wake <- c + cost;
     if ctx.timing && is_long_latency ins then begin
@@ -911,8 +958,42 @@ let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latenci
   let sm =
     { issue_free = 0; mem_free = 0; n_warp_instrs = 0; n_tx = 0; n_bytes = 0; conflict_extra = 0 }
   in
+  let site_rows =
+    List.map
+      (fun (b : Prog.block) ->
+        Array.of_list
+          (List.mapi
+             (fun i (ins : Instr.t) ->
+               match ins with
+               | Instr.Ld (sp, _, _) | Instr.St (sp, _, _) ->
+                 Some
+                   {
+                     sc_label = b.label;
+                     sc_index = i;
+                     sc_space = sp;
+                     sc_execs = 0;
+                     sc_tx = 0;
+                     sc_bytes = 0;
+                     sc_replays = 0;
+                   }
+               | _ -> None)
+             b.body))
+      l.kernel.Prog.blocks
+  in
+  let site_counters = List.concat_map (fun row -> List.filter_map Fun.id (Array.to_list row)) site_rows in
   let ctx =
-    { dev; ck; lat = latencies; bdim_x = bx; bdim_y = by; gdim_x = gx; gdim_y = gy; timing; sm }
+    {
+      dev;
+      ck;
+      lat = latencies;
+      bdim_x = bx;
+      bdim_y = by;
+      gdim_x = gx;
+      gdim_y = gy;
+      timing;
+      sm;
+      sites = Array.of_list site_rows;
+    }
   in
   let total_blocks = gx * gy in
   let all_coords =
@@ -933,6 +1014,7 @@ let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latenci
       bank_conflict_extra = sm.conflict_extra;
       occupancy = occ;
       regs_per_thread = resource.regs_per_thread;
+      site_counters;
     }
   | Timing { max_blocks } ->
     (* Blocks are distributed round-robin over SMs; simulate SM 0's
@@ -966,4 +1048,5 @@ let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latenci
       bank_conflict_extra = sm.conflict_extra;
       occupancy = occ;
       regs_per_thread = resource.regs_per_thread;
+      site_counters;
     }

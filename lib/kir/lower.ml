@@ -31,6 +31,21 @@ let spec_to_ptx = function
   | GdimX -> I.Nctaid_x
   | GdimY -> I.Nctaid_y
 
+(* A memory-access site: one KIR array load or store, identified by the
+   position of the Ld/St instruction it lowered to.  The static
+   analyzer ([Analysis]) re-walks the KIR in lowering order to pair
+   each site with an affine index form, and the simulator's per-site
+   dynamic counters are keyed by the same (label, index), so static
+   predictions and dynamic counts can be diffed per site. *)
+type site = {
+  sid : int;  (* 0-based, in emission order *)
+  s_array : string;
+  s_space : I.space;
+  s_kind : [ `Load | `Store ];
+  s_label : string;  (* PTX block label the access lowered into *)
+  s_index : int;  (* instruction index within that block's body *)
+}
+
 type st = {
   gen : R.Gen.t;
   tenv : Typecheck.env;  (* for expression typing during lowering *)
@@ -41,6 +56,8 @@ type st = {
   mutable cur_weight : float;
   mutable cur_body : I.t list;  (* reversed *)
   mutable done_blocks : Ptx.Prog.block list;  (* reversed *)
+  mutable sites : site list;  (* reversed *)
+  mutable next_sid : int;
 }
 
 let fresh_label st prefix =
@@ -60,6 +77,23 @@ let start st label weight =
   st.cur_label <- label;
   st.cur_weight <- weight;
   st.cur_body <- []
+
+(* Must be called immediately before [emit]ing the Ld/St so the
+   recorded instruction index matches the instruction's final position
+   in the (unoptimized) block body. *)
+let record_site st arr space kind =
+  let s =
+    {
+      sid = st.next_sid;
+      s_array = arr;
+      s_space = space;
+      s_kind = kind;
+      s_label = st.cur_label;
+      s_index = List.length st.cur_body;
+    }
+  in
+  st.next_sid <- st.next_sid + 1;
+  st.sites <- s :: st.sites
 
 (* ------------------------------------------------------------------ *)
 (* Expressions                                                         *)
@@ -231,6 +265,7 @@ let rec lower_expr ?into (st : st) (e : expr) : I.operand =
   | Ld (arr, idx) ->
     let space, addr = lower_address st arr idx in
     let d = dest () in
+    record_site st arr space `Load;
     emit st (I.Ld (space, d, addr));
     I.Reg d
 
@@ -296,6 +331,7 @@ let rec lower_stmts (st : st) (w : float) (ss : stmt list) : bool =
     | Store (arr, idx, value) ->
       let ov = lower_expr st value in
       let space, addr = lower_address st arr idx in
+      record_site st arr space `Store;
       emit st (I.St (space, addr, ov));
       lower_stmts st w rest
     | Sync ->
@@ -370,9 +406,11 @@ let rec lower_stmts (st : st) (w : float) (ss : stmt list) : bool =
 (* Kernel                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Lower a KIR kernel to unoptimized PTX.  [Compile.lower_opt] chains
-   this with [Ptx.Opt.run]. *)
-let lower (k : kernel) : Ptx.Prog.t =
+(* Lower a KIR kernel to unoptimized PTX, also returning the table of
+   memory-access sites in emission order.  The (label, index) keys are
+   only valid against the *unoptimized* program returned here — the
+   PTX optimizer may move or delete instructions. *)
+let lower_with_sites (k : kernel) : Ptx.Prog.t * site list =
   Typecheck.check k;
   let tenv = Typecheck.env_of_kernel k in
   let st =
@@ -386,6 +424,8 @@ let lower (k : kernel) : Ptx.Prog.t =
       cur_weight = 1.0;
       cur_body = [];
       done_blocks = [];
+      sites = [];
+      next_sid = 0;
     }
   in
   (* Array bases: parameters resolve at launch; shared/local arrays get
@@ -418,5 +458,10 @@ let lower (k : kernel) : Ptx.Prog.t =
         (fun (a : array_param) -> Ptx.Prog.{ pname = a.aname; pty = PBuf (space_to_ptx a.aspace) })
         k.array_params
   in
-  Ptx.Prog.validate
-    (Ptx.Prog.make ~name:k.kname ~params ~smem_words ~lmem_words (List.rev st.done_blocks))
+  let prog =
+    Ptx.Prog.validate
+      (Ptx.Prog.make ~name:k.kname ~params ~smem_words ~lmem_words (List.rev st.done_blocks))
+  in
+  (prog, List.rev st.sites)
+
+let lower (k : kernel) : Ptx.Prog.t = fst (lower_with_sites k)

@@ -1,0 +1,55 @@
+(* Deliberate kernel mutations for exercising the static analyzer:
+   dropping a barrier introduces a shared-memory race, transposing a
+   store's thread indices introduces bank conflicts.  Used by
+   `gpuopt lint --mutate` and the analysis tests. *)
+
+open Ast
+
+exception Mutate_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Mutate_error s)) fmt
+
+(* Remove the [index]-th Sync (0-based, in depth-first statement
+   order) from the kernel body. *)
+let drop_sync ~index (k : kernel) : kernel =
+  let count = ref 0 in
+  let rec stmts ss = List.filter_map stmt ss
+  and stmt s =
+    match s with
+    | Sync ->
+      let n = !count in
+      incr count;
+      if n = index then None else Some s
+    | For l -> Some (For { l with body = stmts l.body })
+    | If (c, t, e) -> Some (If (c, stmts t, stmts e))
+    | Let _ | Mut _ | Assign _ | Store _ | Return -> Some s
+  in
+  let body = stmts k.body in
+  if !count <= index then
+    fail "drop_sync: kernel %s has only %d barrier(s), cannot drop #%d" k.kname !count index;
+  { k with body }
+
+(* Swap tid.x and tid.y inside the *index* expression of every store
+   to [array].  On a square-tiled kernel this turns a conflict-free
+   row-major shared store into a column-major one (16-way banked). *)
+let transpose_store ~array (k : kernel) : kernel =
+  let swap =
+    map_expr (function
+      | Special TidX -> Special TidY
+      | Special TidY -> Special TidX
+      | e -> e)
+  in
+  let hits = ref 0 in
+  let rec stmts ss = List.map stmt ss
+  and stmt s =
+    match s with
+    | Store (a, idx, v) when String.equal a array ->
+      incr hits;
+      Store (a, swap idx, v)
+    | For l -> For { l with body = stmts l.body }
+    | If (c, t, e) -> If (c, stmts t, stmts e)
+    | Let _ | Mut _ | Assign _ | Store _ | Sync | Return -> s
+  in
+  let body = stmts k.body in
+  if !hits = 0 then fail "transpose_store: kernel %s has no store to %S" k.kname array;
+  { k with body }

@@ -115,3 +115,51 @@ let profile_of (k : Prog.t) : profile =
 (* Fraction of the dynamic instruction stream that is memory
    operations — the paper's quick bandwidth-limit screen (section 4). *)
 let mem_fraction p = if p.instr = 0.0 then 0.0 else p.mem /. p.instr
+
+(* ------------------------------------------------------------------ *)
+(* Per-class instruction breakdown (`gpuopt inspect --trace`)           *)
+(* ------------------------------------------------------------------ *)
+
+type class_row = {
+  class_name : string;
+  static_count : int;  (* instructions in the program text *)
+  dynamic_count : float;  (* executions per thread, weight-estimated *)
+}
+
+(* Issue-class of one instruction: where it executes and what latency
+   table prices it.  Branches are block terminators, counted
+   separately. *)
+let class_of (i : Instr.t) : string =
+  if Instr.is_barrier i then "barrier"
+  else if Instr.is_sfu i then "sfu"
+  else
+    match i with
+    | Instr.Ld ((Instr.Global | Instr.Local), _, _) | Instr.St ((Instr.Global | Instr.Local), _, _)
+      -> "mem.global"
+    | Instr.Ld (Instr.Shared, _, _) | Instr.St (Instr.Shared, _, _) -> "mem.shared"
+    | Instr.Ld (Instr.Const, _, _) | Instr.St (Instr.Const, _, _) -> "mem.const"
+    | _ -> "alu"
+
+let class_order = [ "alu"; "sfu"; "mem.global"; "mem.shared"; "mem.const"; "barrier"; "branch" ]
+
+let class_breakdown (k : Prog.t) : class_row list =
+  let stat : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let dyn : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let bump name w =
+    Hashtbl.replace stat name (1 + Option.value ~default:0 (Hashtbl.find_opt stat name));
+    Hashtbl.replace dyn name (w +. Option.value ~default:0.0 (Hashtbl.find_opt dyn name))
+  in
+  List.iter
+    (fun (b : Prog.block) ->
+      List.iter (fun i -> bump (class_of i) b.weight) b.body;
+      (* The terminator issues like any instruction (Jump/CBr/Ret). *)
+      bump "branch" b.weight)
+    k.blocks;
+  List.map
+    (fun name ->
+      {
+        class_name = name;
+        static_count = Option.value ~default:0 (Hashtbl.find_opt stat name);
+        dynamic_count = Option.value ~default:0.0 (Hashtbl.find_opt dyn name);
+      })
+    class_order
