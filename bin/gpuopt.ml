@@ -33,6 +33,13 @@ let quick_arg =
   let doc = "Use a tiny problem size (smoke test) instead of the paper-scale one." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let stats_arg =
+  let doc =
+    "Print measurement-engine statistics: simulator runs vs cache hits, and simulator throughput \
+     (warp instructions per host second)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let candidates_of (e : Apps.Registry.entry) quick =
   if quick then e.quick_candidates () else e.candidates ()
 
@@ -85,7 +92,7 @@ let explore_cmd =
     "Exhaustively measure an application's optimization space, then compare against the \
      Pareto-pruned search (paper Table 4 / Figure 6)."
   in
-  let run (e : Apps.Registry.entry) jobs quick =
+  let run (e : Apps.Registry.entry) jobs quick stats =
     let r = Tuner.Search.run ~jobs ~app_name:e.name (candidates_of e quick) in
     Printf.printf "%d valid configurations (%d invalid)\n\n" r.space_size r.invalid;
     print_string (Tuner.Report.figure6 r);
@@ -93,9 +100,21 @@ let explore_cmd =
     print_string (Tuner.Report.table Tuner.Report.table4_header [ Tuner.Report.table4_row r ]);
     Printf.printf "\ntrue optimum:   %s  (%.4f ms)\n" r.best.cand.desc (r.best.time_s *. 1000.0);
     Printf.printf "pruned search:  %s  (%.4f ms)\n" r.selected_best.cand.desc
-      (r.selected_best.time_s *. 1000.0)
+      (r.selected_best.time_s *. 1000.0);
+    if stats then begin
+      let s = r.engine in
+      let requests = s.measure_runs + s.measure_hits in
+      Printf.printf "\nmeasurement engine: %d requests -> %d simulator runs + %d cache hits\n"
+        requests s.measure_runs s.measure_hits;
+      Printf.printf "                    (the Pareto subset re-reads the exhaustive sweep's cache)\n";
+      Printf.printf "simulator:          %d launches, %d warp-instrs in %.2fs host time" s.sim_launches
+        s.sim_warp_instrs s.measure_host_s;
+      if s.measure_host_s > 0.0 then
+        Printf.printf " (%.2f M warp-instrs/s)" (float_of_int s.sim_warp_instrs /. s.measure_host_s /. 1e6);
+      Printf.printf "\n"
+    end
   in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ app_arg $ jobs_arg $ quick_arg)
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ app_arg $ jobs_arg $ quick_arg $ stats_arg)
 
 let tune_cmd =
   let doc =

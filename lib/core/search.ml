@@ -10,6 +10,18 @@
 
 type measured = Measure.measured = { cand : Candidate.t; time_s : float }
 
+(* Where the search's host time went: how often the measurement engine
+   actually paid for the simulator versus answering from its cache, and
+   the simulator work performed (from [Gpu.Sim]'s global counters, so
+   parallel worker domains are included). *)
+type engine_stats = {
+  measure_runs : int;  (* simulator measurements actually performed *)
+  measure_hits : int;  (* measurement requests answered from the cache *)
+  measure_host_s : float;  (* summed host seconds inside [run] thunks *)
+  sim_launches : int;  (* simulator launches during the search *)
+  sim_warp_instrs : int;  (* warp instructions those launches issued *)
+}
+
 type result = {
   app_name : string;
   space_size : int;  (* valid configurations *)
@@ -28,6 +40,7 @@ type result = {
          equivalence — the paper's own MRI clusters treat <= 5.4%
          differences as "identical or nearly identical"; we use 2%)? *)
   optimum_exact : bool;  (* strict version: the argmin itself selected *)
+  engine : engine_stats;  (* measurement-engine and simulator counters *)
 }
 
 let measure (c : Candidate.t) : measured = { cand = c; time_s = c.run () }
@@ -41,6 +54,7 @@ let run ?jobs ~(app_name : string) (cands : Candidate.t list) : result =
   let valid, invalid = List.partition (fun (c : Candidate.t) -> c.valid) cands in
   if valid = [] then invalid_arg (app_name ^ ": no valid configuration in the space");
   let all = List.map (fun c -> (c, Metrics.of_candidate c)) valid in
+  let wi0 = Gpu.Sim.warp_instrs_issued () and launches0 = Gpu.Sim.sim_runs () in
   let engine = Measure.create ~app_name () in
   (* Exhaustive exploration: measure everything. *)
   let exhaustive = Measure.measure_all ?jobs engine valid in
@@ -90,6 +104,14 @@ let run ?jobs ~(app_name : string) (cands : Candidate.t list) : result =
     optimum_selected = selected_best.time_s <= best.time_s *. 1.02;
     optimum_exact =
       List.exists (fun ((c : Candidate.t), _) -> String.equal c.desc best.cand.desc) selected;
+    engine =
+      {
+        measure_runs = Measure.runs engine;
+        measure_hits = Measure.hits engine;
+        measure_host_s = Measure.host_time engine;
+        sim_launches = Gpu.Sim.sim_runs () - launches0;
+        sim_warp_instrs = Gpu.Sim.warp_instrs_issued () - wi0;
+      };
   }
 
 (* Pruned-only search: what a user of the methodology actually runs —

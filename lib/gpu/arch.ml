@@ -35,6 +35,11 @@ let g80 : limits =
     sfus_per_sm = 2;
   }
 
+(* Shared memory is organized into 16 banks, interleaved by 32-bit
+   word (section 2.1); half-warp accesses conflict when distinct
+   addresses map to the same bank. *)
+let shared_banks = 16
+
 let clock_ghz = 1.35
 let clock_hz = clock_ghz *. 1e9
 

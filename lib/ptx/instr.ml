@@ -172,6 +172,62 @@ let global_bytes = function
   | Ld (Local, _, _) | St (Local, _, _) -> 4 (* local memory is off-chip *)
   | _ -> 0
 
+(* ------------------------------------------------------------------ *)
+(* Operator semantics (decode helpers)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The evaluation function of each ALU operator, resolved once.  The
+   simulator's pre-decode stage selects these at kernel-launch time so
+   its per-lane inner loop performs no operator dispatch; the KIR
+   interpreter and constant folders may share them. *)
+
+let fop2_fn : fop2 -> float -> float -> float = function
+  | FAdd -> Util.Float32.add
+  | FSub -> Util.Float32.sub
+  | FMul -> Util.Float32.mul
+  | FDiv -> Util.Float32.div
+  | FMin -> Util.Float32.min
+  | FMax -> Util.Float32.max
+
+let fop1_fn : fop1 -> float -> float = function
+  | FNeg -> Util.Float32.neg
+  | FAbs -> Util.Float32.abs
+  | FSqrt -> Util.Float32.sqrt
+  | FRsqrt -> Util.Float32.rsqrt
+  | FRcp -> Util.Float32.rcp
+  | FSin -> Util.Float32.sin
+  | FCos -> Util.Float32.cos
+  | FEx2 -> fun x -> Util.Float32.round (Float.pow 2.0 x)
+  | FLg2 -> fun x -> Util.Float32.round (Float.log x /. Float.log 2.0)
+
+let iop2_fn : iop2 -> int -> int -> int = function
+  | IAdd -> ( + )
+  | ISub -> ( - )
+  | IMul -> ( * )
+  | IDiv -> fun a b -> if b = 0 then 0 else a / b
+  | IRem -> fun a b -> if b = 0 then 0 else a mod b
+  | IMin -> min
+  | IMax -> max
+  | IAnd -> ( land )
+  | IOr -> ( lor )
+  | IXor -> ( lxor )
+  | IShl -> ( lsl )
+  | IShr -> ( asr )
+
+(* Comparison against the three-way result of [compare]. *)
+let cmp_fn : cmp -> int -> bool = function
+  | CEq -> fun c -> c = 0
+  | CNe -> fun c -> c <> 0
+  | CLt -> fun c -> c < 0
+  | CLe -> fun c -> c <= 0
+  | CGt -> fun c -> c > 0
+  | CGe -> fun c -> c >= 0
+
+let pop2_fn : pop2 -> bool -> bool -> bool = function
+  | PAnd -> ( && )
+  | POr -> ( || )
+  | PXor -> ( <> )
+
 let special_to_string = function
   | Tid_x -> "%tid.x"
   | Tid_y -> "%tid.y"

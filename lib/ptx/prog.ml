@@ -139,3 +139,17 @@ let validate t =
 (* Number of static instructions (bodies + terminators). *)
 let static_size t =
   List.fold_left (fun acc b -> acc + List.length b.body + 1) 0 t.blocks
+
+(* Register-file sizes per class: one more than the highest register
+   index mentioned anywhere, so simulators can lay registers out as
+   flat per-class arrays (decode helper). *)
+let regfile_sizes t : int * int * int =
+  let nf = ref 0 and nr = ref 0 and np = ref 0 in
+  Reg.Set.iter
+    (fun r ->
+      match Reg.ty r with
+      | Reg.F32 -> nf := max !nf (Reg.idx r + 1)
+      | Reg.S32 -> nr := max !nr (Reg.idx r + 1)
+      | Reg.Pred -> np := max !np (Reg.idx r + 1))
+    (all_regs t);
+  (!nf, !nr, !np)

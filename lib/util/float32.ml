@@ -8,30 +8,34 @@
 
 type t = float
 
-let round (x : float) : float = Int32.float_of_bits (Int32.bits_of_float x)
+(* The [@inline] annotations matter: simulator lane loops apply these
+   per thread, and without inlining the (non-flambda) compiler boxes
+   every float crossing the call — inlined, the round-trip compiles to
+   unboxed bit-level moves. *)
+let[@inline] round (x : float) : float = Int32.float_of_bits (Int32.bits_of_float x)
 
-let add a b = round (a +. b)
-let sub a b = round (a -. b)
-let mul a b = round (a *. b)
-let div a b = round (a /. b)
+let[@inline] add a b = round (a +. b)
+let[@inline] sub a b = round (a -. b)
+let[@inline] mul a b = round (a *. b)
+let[@inline] div a b = round (a /. b)
 
 (* The G80 multiply-add is not fused: it rounds the product before the
    addition, matching [mul] followed by [add]. *)
-let mad a b c = add (mul a b) c
+let[@inline] mad a b c = add (mul a b) c
 
-let neg a = -.a
+let[@inline] neg a = -.a
 let abs = Float.abs
-let min a b = if a < b || Float.is_nan b then a else b
-let max a b = if a > b || Float.is_nan b then a else b
-let sqrt x = round (Float.sqrt x)
-let rsqrt x = round (1.0 /. Float.sqrt x)
-let rcp x = round (1.0 /. x)
-let sin x = round (Float.sin x)
-let cos x = round (Float.cos x)
+let[@inline] min a b = if a < b || Float.is_nan b then a else b
+let[@inline] max a b = if a > b || Float.is_nan b then a else b
+let[@inline] sqrt x = round (Float.sqrt x)
+let[@inline] rsqrt x = round (1.0 /. Float.sqrt x)
+let[@inline] rcp x = round (1.0 /. x)
+let[@inline] sin x = round (Float.sin x)
+let[@inline] cos x = round (Float.cos x)
 let exp x = round (Float.exp x)
 let log x = round (Float.log x)
 
-let of_int i = round (float_of_int i)
+let[@inline] of_int i = round (float_of_int i)
 let to_int (x : float) : int = int_of_float x
 
 let of_bits (b : int32) : float = Int32.float_of_bits b
