@@ -736,6 +736,75 @@ let perf () =
     (List.for_all (fun (_, _, _, _, _, _, s) -> s > 1.0) rows)
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: fault-tolerance exhibit                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The robustness claim, demonstrated on the quick matmul space: a
+   sweep with seeded injected faults (a crashing thunk, a runaway
+   kernel the watchdog cuts off, a corrupt pass the verifier rejects)
+   reports every fault, still finds the surviving optimum exactly, and
+   a checkpointed sweep killed partway resumes to the identical
+   result. *)
+let chaos () =
+  section "Chaos: fault-injected sweep + checkpoint/resume (matmul quick)";
+  let e = registry "matmul" in
+  let cands = e.quick_candidates () in
+  let baseline = Tuner.Search.run ~jobs:!jobs ~app_name:"matmul" cands in
+  let avoid = List.map (fun ((c : Tuner.Candidate.t), _) -> c.desc) baseline.selected in
+  let injected_cands, injections =
+    Tuner.Chaos.inject ~seed:2008 ~count:6 ~avoid cands
+  in
+  let r = Tuner.Search.run ~jobs:!jobs ~app_name:"matmul" injected_cands in
+  print_string (Tuner.Report.fault_table r.faults);
+  let injected_descs =
+    List.sort compare (List.map (fun (i : Tuner.Chaos.injection) -> i.inj_desc) injections)
+  in
+  check "all injected faults reported"
+    (List.sort compare (List.map (fun ((c : Tuner.Candidate.t), _) -> c.desc) r.faults)
+    = injected_descs);
+  check "watchdog faults present among the injections"
+    (List.exists (fun (_, f) -> Tuner.Fault.tag f = "watchdog") r.faults);
+  let surviving_best =
+    List.filter
+      (fun (m : Tuner.Search.measured) -> not (List.mem m.cand.desc injected_descs))
+      baseline.exhaustive
+    |> fun ms -> Option.get (Util.Stats.argmin (fun (m : Tuner.Search.measured) -> m.time_s) ms)
+  in
+  check "exhaustive optimum over survivors is exact"
+    (r.best.cand.desc = surviving_best.cand.desc && r.best.time_s = surviving_best.time_s);
+  check "faults off the frontier leave selected_best unchanged"
+    (r.selected_best.cand.desc = baseline.selected_best.cand.desc
+    && r.selected_best.time_s = baseline.selected_best.time_s);
+  (* Kill-and-resume on a checkpoint journal. *)
+  let tmp = Filename.temp_file "bench-chaos-" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let k = max 1 (r.space_size / 2) in
+      let interrupted =
+        match
+          Tuner.Search.run ~jobs:!jobs ~checkpoint:tmp ~checkpoint_budget:k ~app_name:"matmul"
+            injected_cands
+        with
+        | (_ : Tuner.Search.result) -> false
+        | exception Tuner.Measure.Interrupted { journaled; _ } -> journaled = k
+      in
+      check "checkpointed sweep interrupts after its budget" interrupted;
+      let resumed =
+        Tuner.Search.run ~jobs:!jobs ~checkpoint:tmp ~app_name:"matmul" injected_cands
+      in
+      let times ms = List.map (fun (m : Tuner.Search.measured) -> (m.cand.desc, m.time_s)) ms in
+      check "resume skips the journaled half" (resumed.engine.measure_runs = r.space_size - k);
+      check "resumed sweep equals the uninterrupted one"
+        (times resumed.exhaustive = times r.exhaustive
+        && List.map (fun ((c : Tuner.Candidate.t), f) -> (c.desc, Tuner.Fault.to_journal f))
+             resumed.faults
+           = List.map (fun ((c : Tuner.Candidate.t), f) -> (c.desc, Tuner.Fault.to_journal f))
+               r.faults
+        && resumed.best.cand.desc = r.best.cand.desc
+        && resumed.selected_eval_time = r.selected_eval_time))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -752,6 +821,7 @@ let experiments =
     ("lint", lint);
     ("perf", perf);
     ("bechamel", bechamel);
+    ("chaos", chaos);
   ]
 
 let () =

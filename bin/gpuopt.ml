@@ -8,6 +8,7 @@
      gpuopt lint <app>           static memory-access analysis
      gpuopt compile <file.mcu>   minicuda -> PTX, resources, profile
      gpuopt run <file.mcu> ...   compile and simulate a kernel
+     gpuopt chaos <app>          fault-injection self-test of the tuner
 
    Applications come from the registry (Apps.Registry.all): matmul,
    cp, sad, mri. *)
@@ -92,8 +93,37 @@ let explore_cmd =
     "Exhaustively measure an application's optimization space, then compare against the \
      Pareto-pruned search (paper Table 4 / Figure 6)."
   in
-  let run (e : Apps.Registry.entry) jobs quick stats =
-    let r = Tuner.Search.run ~jobs ~app_name:e.name (candidates_of e quick) in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Journal every settled measurement (time or fault) to $(docv) as it lands.  \
+             Re-running with the same file skips the journaled candidates, so an interrupted \
+             sweep resumes where it stopped.  The journal is keyed by app and candidate space; \
+             a stale or foreign journal is rejected.")
+  in
+  let fail_fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:
+            "Abort the sweep on the first measurement fault instead of recording it and \
+             searching over the survivors.")
+  in
+  let run (e : Apps.Registry.entry) jobs quick stats checkpoint fail_fast =
+    let r =
+      try Tuner.Search.run ~jobs ~fail_fast ?checkpoint ~app_name:e.name (candidates_of e quick)
+      with
+      | Tuner.Fault.Fail { desc; fault } ->
+        Printf.eprintf "fault in %s: %s\n" desc (Tuner.Fault.to_string fault);
+        exit 1
+      | Tuner.Measure.Interrupted { file; journaled } ->
+        Printf.eprintf "sweep interrupted: %d measurement(s) journaled to %s; rerun with the \
+                        same --checkpoint to resume\n" journaled file;
+        exit 3
+    in
     Printf.printf "%d valid configurations (%d invalid)\n\n" r.space_size r.invalid;
     print_string (Tuner.Report.figure6 r);
     Printf.printf "\n";
@@ -101,6 +131,11 @@ let explore_cmd =
     Printf.printf "\ntrue optimum:   %s  (%.4f ms)\n" r.best.cand.desc (r.best.time_s *. 1000.0);
     Printf.printf "pruned search:  %s  (%.4f ms)\n" r.selected_best.cand.desc
       (r.selected_best.time_s *. 1000.0);
+    if r.faults <> [] then begin
+      Printf.printf "\n%d configuration(s) faulted and were excluded:\n"
+        (List.length r.faults);
+      print_string (Tuner.Report.fault_table r.faults)
+    end;
     if stats then begin
       let s = r.engine in
       let requests = s.measure_runs + s.measure_hits in
@@ -114,7 +149,149 @@ let explore_cmd =
       Printf.printf "\n"
     end
   in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ app_arg $ jobs_arg $ quick_arg $ stats_arg)
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run $ app_arg $ jobs_arg $ quick_arg $ stats_arg $ checkpoint_arg $ fail_fast_arg)
+
+let chaos_cmd =
+  let doc =
+    "Prove the tuner's fault tolerance on an application: inject deterministic failures \
+     (crashing thunks, watchdog-caught runaway kernels, corrupt passes) into the space, check \
+     that every fault is reported and the search still finds the true optimum among the \
+     survivors, then kill a checkpointed sweep partway and check that resuming reproduces the \
+     uninterrupted result exactly.  Exits nonzero if any check fails."
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Victim-selection seed.")
+  in
+  let faults_arg =
+    Arg.(value & opt int 5 & info [ "faults" ] ~docv:"N" ~doc:"Number of faults to inject.")
+  in
+  let hit_frontier_arg =
+    Arg.(
+      value & flag
+      & info [ "hit-frontier" ]
+          ~doc:
+            "Let faults land on the fault-free run's Pareto-selected subset too.  Killing \
+             frontier members legitimately changes what the pruned search selects, so the \
+             strict selection-unchanged checks are skipped in this mode (the exhaustive-optimum \
+             and resume checks still apply).")
+  in
+  let run (e : Apps.Registry.entry) jobs quick seed nfaults hit_frontier =
+    let cands = candidates_of e quick in
+    let failures = ref 0 in
+    let check name ok =
+      if not ok then incr failures;
+      Printf.printf "CHECK %-52s %s\n" name (if ok then "ok" else "FAIL")
+    in
+    let fault_key ((c : Tuner.Candidate.t), f) = (c.desc, Tuner.Fault.to_journal f) in
+    let times ms = List.map (fun (m : Tuner.Search.measured) -> (m.cand.desc, m.time_s)) ms in
+    (* Fault-free baseline: the ground truth the injected runs must
+       still recover on the surviving part of the space. *)
+    let baseline = Tuner.Search.run ~jobs ~app_name:e.name cands in
+    Printf.printf "baseline: %d valid configurations, optimum %s (%.4f ms)\n" baseline.space_size
+      baseline.best.cand.desc
+      (baseline.best.time_s *. 1000.0);
+    (* Injected sweep.  By default victims are drawn outside the
+       fault-free Pareto-selected subset: faults that miss the frontier
+       provably leave the pruned selection unchanged, which is what the
+       strict checks below assert. *)
+    let avoid =
+      if hit_frontier then []
+      else List.map (fun ((c : Tuner.Candidate.t), _) -> c.desc) baseline.selected
+    in
+    let injected_cands, injections = Tuner.Chaos.inject ~seed ~count:nfaults ~avoid cands in
+    List.iter
+      (fun (inj : Tuner.Chaos.injection) ->
+        Printf.printf "inject %-12s -> %s\n" (Tuner.Chaos.kind_name inj.inj_kind) inj.inj_desc)
+      injections;
+    let r = Tuner.Search.run ~jobs ~app_name:e.name injected_cands in
+    Printf.printf "\n%d fault(s) recorded:\n" (List.length r.faults);
+    print_string (Tuner.Report.fault_table r.faults);
+    Printf.printf "\n";
+    let injected_descs =
+      List.sort compare (List.map (fun (i : Tuner.Chaos.injection) -> i.inj_desc) injections)
+    in
+    check "every injected candidate is reported as a fault"
+      (List.sort compare (List.map (fun ((c : Tuner.Candidate.t), _) -> c.desc) r.faults)
+      = injected_descs);
+    check "each fault carries its injected kind's tag"
+      (List.for_all
+         (fun (inj : Tuner.Chaos.injection) ->
+           match
+             List.find_opt (fun ((c : Tuner.Candidate.t), _) -> c.desc = inj.inj_desc) r.faults
+           with
+           | Some (_, f) -> Tuner.Fault.tag f = Tuner.Chaos.expected_tag inj.inj_kind
+           | None -> false)
+         injections);
+    (* The true optimum of the surviving space, from the baseline's
+       measurements (deterministic, so exact comparison is fair). *)
+    let surviving_best =
+      List.filter
+        (fun (m : Tuner.Search.measured) -> not (List.mem m.cand.desc injected_descs))
+        baseline.exhaustive
+      |> List.fold_left
+           (fun acc (m : Tuner.Search.measured) ->
+             match acc with
+             | Some (b : Tuner.Search.measured) when b.time_s <= m.time_s -> acc
+             | _ -> Some m)
+           None
+    in
+    (match surviving_best with
+    | None -> check "some candidate survived" false
+    | Some sb ->
+      check "exhaustive optimum over survivors is exact"
+        (r.best.cand.desc = sb.cand.desc && r.best.time_s = sb.time_s));
+    let sel_descs (res : Tuner.Search.result) =
+      List.map (fun ((c : Tuner.Candidate.t), _) -> c.desc) res.selected
+    in
+    if hit_frontier then
+      Printf.printf "(frontier hits allowed: optimum on curve: %s)\n"
+        (if r.optimum_selected then "yes" else "no")
+    else begin
+      check "faults off the frontier leave the selection unchanged"
+        (sel_descs r = sel_descs baseline);
+      check "pruned search still picks the fault-free choice"
+        (r.selected_best.cand.desc = baseline.selected_best.cand.desc
+        && r.selected_best.time_s = baseline.selected_best.time_s
+        && r.optimum_selected = baseline.optimum_selected)
+    end;
+    (* Kill-and-resume: checkpoint the injected sweep, stop it after
+       half the space, resume against the same journal, and demand the
+       merged result equals the uninterrupted one. *)
+    let tmp = Filename.temp_file "gpuopt-chaos-" ".journal" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        let nvalid = r.space_size in
+        let k = max 1 (nvalid / 2) in
+        let interrupted =
+          match
+            Tuner.Search.run ~jobs ~checkpoint:tmp ~checkpoint_budget:k ~app_name:e.name
+              injected_cands
+          with
+          | (_ : Tuner.Search.result) -> false
+          | exception Tuner.Measure.Interrupted { journaled; _ } -> journaled = k
+        in
+        check "sweep interrupts after the journal budget" interrupted;
+        let resumed = Tuner.Search.run ~jobs ~checkpoint:tmp ~app_name:e.name injected_cands in
+        check "resumed sweep skips the journaled measurements"
+          (resumed.engine.measure_runs = nvalid - k);
+        check "resumed result equals the uninterrupted one"
+          (times resumed.exhaustive = times r.exhaustive
+          && List.map fault_key resumed.faults = List.map fault_key r.faults
+          && resumed.best.cand.desc = r.best.cand.desc
+          && resumed.best.time_s = r.best.time_s
+          && resumed.selected_best.cand.desc = r.selected_best.cand.desc
+          && resumed.selected_eval_time = r.selected_eval_time
+          && resumed.reduction = r.reduction));
+    if !failures > 0 then begin
+      Printf.printf "\n%d check(s) FAILED\n" !failures;
+      exit 1
+    end;
+    Printf.printf "\nall checks passed\n"
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ app_arg $ jobs_arg $ quick_arg $ seed_arg $ faults_arg $ hit_frontier_arg)
 
 let tune_cmd =
   let doc =
@@ -352,4 +529,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ arch_cmd; explore_cmd; tune_cmd; inspect_cmd; lint_cmd; compile_cmd; run_cmd ]))
+          [ arch_cmd; explore_cmd; tune_cmd; inspect_cmd; lint_cmd; compile_cmd; run_cmd; chaos_cmd ]))

@@ -1,32 +1,66 @@
 (* Measurement engine: the expensive step of the paper's methodology,
-   made parallel and memoized.
+   made parallel, memoized, fault-tolerant and resumable.
 
    Measuring a configuration means driving the cycle-approximate SM
    simulator through the candidate's [run] thunk — exactly the cost the
    pruning methodology exists to avoid paying for the whole space.  The
-   engine adds two things on top of calling the thunk directly:
+   engine adds four things on top of calling the thunk directly:
 
    - a per-application memoizing cache keyed by the candidate's [desc],
      so any candidate is simulated at most once per engine no matter
      how many passes (exhaustive sweep, Pareto subset, reports) ask for
      its time;
    - parallel bulk measurement over a [Util.Pool] of domains, with
-     per-candidate host wall-time bookkeeping.
+     per-candidate host wall-time bookkeeping;
+   - crash isolation: a thunk that throws (pass bug, launch rejection,
+     simulator trap, watchdog abort) is recorded in the cache as a
+     [Fault.t] — measured-as-failed exactly once, so retries are
+     deterministic and one bad candidate cannot poison the sweep;
+   - an optional checkpoint journal: every settled outcome (time or
+     fault) is appended to a file as it lands, and a fresh engine can
+     reload the journal to skip finished work, so an interrupted
+     multi-hour sweep resumes where it stopped.
 
    Determinism: simulated times depend only on the candidate itself
    (each [run] thunk operates on private state — see the domain-safety
-   audit in DESIGN.md), and [Pool.map] preserves input order, so the
-   results are identical whatever [jobs] is. *)
+   audit in DESIGN.md), and [Pool.map_result] preserves input order, so
+   the results are identical whatever [jobs] is. *)
 
 type measured = { cand : Candidate.t; time_s : float }
+
+(* What one measurement settled to: the simulated seconds, or the
+   classified fault that ended it. *)
+type outcome = (float, Fault.t) result
+
+(* Raised out of [measure_outcomes] when the journal's entry budget ran
+   out mid-sweep (the harness's stand-in for a kill): the journal holds
+   exactly the budgeted number of outcomes and a rerun against the same
+   file resumes from them. *)
+exception Interrupted of { file : string; journaled : int }
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted { file; journaled } ->
+      Some
+        (Printf.sprintf "Tuner.Measure.Interrupted(journal %s holds %d outcomes)" file journaled)
+    | _ -> None)
+
+type journal = {
+  j_file : string;
+  j_oc : out_channel;
+  mutable j_remaining : int;  (* entries the budget still allows *)
+  mutable j_written : int;  (* entries appended by this engine *)
+  mutable j_interrupted : bool;  (* budget exhausted: abort the sweep *)
+}
 
 type t = {
   app_name : string;
   lock : Mutex.t;  (* guards every field below *)
-  cache : (string, float) Hashtbl.t;  (* desc -> simulated seconds *)
+  cache : (string, outcome) Hashtbl.t;  (* desc -> settled outcome *)
   host : (string, float) Hashtbl.t;  (* desc -> host seconds spent measuring *)
   mutable runs : int;  (* simulator invocations actually performed *)
   mutable hits : int;  (* measurements answered from the cache *)
+  mutable journal : journal option;
 }
 
 let create ~app_name () =
@@ -37,33 +71,214 @@ let create ~app_name () =
     host = Hashtbl.create 64;
     runs = 0;
     hits = 0;
+    journal = None;
   }
 
-let cached t (c : Candidate.t) : float option =
+(* ------------------------------------------------------------------ *)
+(* Checkpoint journal                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Journal layout (plain text, one record per line):
+
+     gpuopt-journal v1
+     app <application name>
+     key <space key: digest of the candidate list>
+     ok <desc %S> <time %h>
+     fault <desc %S> <Fault.to_journal encoding>
+
+   Times round-trip exactly through the hexadecimal float format, so a
+   resumed sweep is bit-identical to an uninterrupted one.  The header
+   is validated on load: a journal written for another app, another
+   space (different key) or another format version is rejected loudly
+   instead of silently corrupting the resumed results. *)
+
+let journal_magic = "gpuopt-journal v1"
+
+let journal_entry desc (o : outcome) : string =
+  match o with
+  | Ok time_s -> Printf.sprintf "ok %S %h" desc time_s
+  | Error f -> Printf.sprintf "fault %S %s" desc (Fault.to_journal f)
+
+let parse_entry (file : string) (lineno : int) (line : string) : string * outcome =
+  let bad reason =
+    failwith
+      (Printf.sprintf "Measure: corrupt journal %s, line %d (%s): %S" file lineno reason line)
+  in
+  match String.index_opt line ' ' with
+  | None -> bad "no record tag"
+  | Some i -> (
+    match String.sub line 0 i with
+    | "ok" -> (
+      try Scanf.sscanf line "ok %S %h" (fun desc t -> (desc, Ok t))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> bad "unparseable ok record")
+    | "fault" -> (
+      match
+        try Some (Scanf.sscanf line "fault %S %n" (fun desc n -> (desc, n)))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      with
+      | None -> bad "unparseable fault record"
+      | Some (desc, ofs) -> (
+        let rest = String.sub line ofs (String.length line - ofs) in
+        match Fault.of_journal rest with
+        | Some f -> (desc, Error f)
+        | None -> bad "unparseable fault payload"))
+    | tag -> bad (Printf.sprintf "unknown record tag %S" tag))
+
+(* Attach a checkpoint journal to the engine.  If [file] exists, its
+   header is validated against this engine's app name and the caller's
+   [key] (reject loudly on any mismatch — a stale journal must never
+   leak measurements into the wrong sweep) and its entries seed the
+   cache; the file is then opened for append.  [stop_after] bounds how
+   many *new* outcomes this engine may journal before the sweep aborts
+   with [Interrupted] — the test harness's deterministic stand-in for
+   killing a long sweep partway.  Returns the number of entries
+   loaded. *)
+let checkpoint ?(stop_after = max_int) t ~(file : string) ~(key : string) : int =
+  if stop_after < 0 then invalid_arg "Measure.checkpoint: stop_after must be >= 0";
+  Mutex.protect t.lock (fun () ->
+      if t.journal <> None then invalid_arg "Measure.checkpoint: journal already attached";
+      let loaded = ref 0 in
+      let exists = Sys.file_exists file && (Unix.stat file).Unix.st_size > 0 in
+      if exists then begin
+        let ic = open_in file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let line lineno what =
+              match In_channel.input_line ic with
+              | Some l -> l
+              | None ->
+                failwith
+                  (Printf.sprintf "Measure: truncated journal %s: missing %s (line %d)" file what
+                     lineno)
+            in
+            let magic = line 1 "format line" in
+            if magic <> journal_magic then
+              failwith
+                (Printf.sprintf
+                   "Measure: journal %s has format %S, expected %S — refusing a stale or foreign \
+                    journal"
+                   file magic journal_magic);
+            let app_line = line 2 "app line" in
+            if app_line <> "app " ^ t.app_name then
+              failwith
+                (Printf.sprintf "Measure: journal %s is for %S, not app %S" file app_line
+                   t.app_name);
+            let key_line = line 3 "key line" in
+            if key_line <> "key " ^ key then
+              failwith
+                (Printf.sprintf
+                   "Measure: journal %s was written for a different candidate space (%s, expected \
+                    key %s) — delete it or pass the matching space"
+                   file key_line key);
+            let lineno = ref 3 in
+            let rec entries () =
+              match In_channel.input_line ic with
+              | None -> ()
+              | Some "" -> entries ()
+              | Some l ->
+                incr lineno;
+                let desc, o = parse_entry file !lineno l in
+                Hashtbl.replace t.cache desc o;
+                incr loaded;
+                entries ()
+            in
+            entries ())
+      end;
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file
+      in
+      if not exists then begin
+        output_string oc (journal_magic ^ "\n");
+        output_string oc ("app " ^ t.app_name ^ "\n");
+        output_string oc ("key " ^ key ^ "\n");
+        flush oc
+      end;
+      t.journal <-
+        Some { j_file = file; j_oc = oc; j_remaining = stop_after; j_written = 0; j_interrupted = false };
+      !loaded)
+
+(* Detach and close the journal (flushes).  Safe without one. *)
+let close_journal t =
+  Mutex.protect t.lock (fun () ->
+      match t.journal with
+      | None -> ()
+      | Some j ->
+        (try close_out j.j_oc with Sys_error _ -> ());
+        t.journal <- None)
+
+(* ------------------------------------------------------------------ *)
+(* Cache lookups                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cached t (c : Candidate.t) : outcome option =
   Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.cache c.desc)
 
-(* Cached time of an already-measured candidate.  The cache is the
+(* Settled outcome of an already-measured candidate.  The cache is the
    single source of truth: asking for a candidate that was never passed
-   through [measure_all] is a caller bug (it would otherwise silently
-   re-run the simulator and double-count evaluation time), so a miss
-   raises instead of re-measuring. *)
-let find_exn t (c : Candidate.t) : float =
+   through [measure_outcomes] is a caller bug (it would otherwise
+   silently re-run the simulator and double-count evaluation time), so
+   a miss raises — naming the app and the candidate's config key, since
+   an anonymous failure is useless in a parallel sweep log. *)
+let find_exn t (c : Candidate.t) : outcome =
   match Hashtbl.find_opt t.cache c.desc with
-  | Some ts -> ts
+  | Some o -> o
   | None ->
     invalid_arg
       (Printf.sprintf "Measure.time_exn: %s: candidate %S was never measured" t.app_name c.desc)
 
-let time_exn t (c : Candidate.t) : float =
+let outcome_exn t (c : Candidate.t) : outcome =
   Mutex.protect t.lock (fun () ->
-      let ts = find_exn t c in
+      let o = find_exn t c in
       t.hits <- t.hits + 1;
-      ts)
+      o)
+
+(* Cached simulated seconds of a successfully measured candidate; a
+   candidate that was measured-as-failed raises with its fault. *)
+let time_exn t (c : Candidate.t) : float =
+  match outcome_exn t c with
+  | Ok ts -> ts
+  | Error f ->
+    invalid_arg
+      (Printf.sprintf "Measure.time_exn: %s: candidate %S faulted: %s" t.app_name c.desc
+         (Fault.to_string f))
+
+(* ------------------------------------------------------------------ *)
+(* Bulk measurement                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Record one settled outcome under the lock: cache, bookkeeping, and
+   the journal (if attached).  When the journal budget is exhausted the
+   outcome is *discarded* — not cached, not journaled — and the engine
+   flips to interrupted, exactly as if the process had been killed
+   between two appends. *)
+let record t desc (o : outcome) (host_s : float) : unit =
+  Mutex.protect t.lock (fun () ->
+      match t.journal with
+      | Some j when j.j_interrupted -> ()
+      | Some j when j.j_remaining = 0 -> j.j_interrupted <- true
+      | journal ->
+        Hashtbl.replace t.cache desc o;
+        Hashtbl.replace t.host desc host_s;
+        t.runs <- t.runs + 1;
+        (match journal with
+        | None -> ()
+        | Some j ->
+          j.j_remaining <- j.j_remaining - 1;
+          j.j_written <- j.j_written + 1;
+          output_string j.j_oc (journal_entry desc o ^ "\n");
+          flush j.j_oc))
+
+let interrupted t =
+  Mutex.protect t.lock (fun () ->
+      match t.journal with Some j -> j.j_interrupted | None -> false)
 
 (* Measure every candidate of [cands], in parallel over [jobs] domains
-   (default [Pool.default_jobs ()]), skipping those already in the
-   cache.  Returns one [measured] per input, in input order. *)
-let measure_all ?jobs t (cands : Candidate.t list) : measured list =
+   (default [Pool.default_jobs ()]), skipping those already settled in
+   the cache (including those loaded from a checkpoint journal, and
+   those settled as faults).  Returns one (candidate, outcome) pair per
+   input, in input order. *)
+let measure_outcomes ?jobs t (cands : Candidate.t list) : (Candidate.t * outcome) list =
   (* Decide what actually needs the simulator before spawning workers;
      duplicates within one batch collapse to a single run. *)
   let to_run =
@@ -81,24 +296,43 @@ let measure_all ?jobs t (cands : Candidate.t list) : measured list =
             end)
           cands)
   in
-  let timed =
-    Util.Pool.map ?jobs
+  let results =
+    Util.Pool.map_result ?jobs
       (fun (c : Candidate.t) ->
-        let t0 = Unix.gettimeofday () in
-        let time_s = c.run () in
-        (c.desc, time_s, Unix.gettimeofday () -. t0))
+        (* Once the journal budget killed the sweep, remaining thunks
+           skip the simulator: their outcomes would be discarded. *)
+        if interrupted t then ()
+        else begin
+          let t0 = Unix.gettimeofday () in
+          let o = Fault.run_candidate c in
+          record t c.desc o (Unix.gettimeofday () -. t0)
+        end)
       to_run
   in
+  (* [Fault.run_candidate] classifies everything a thunk can raise, so
+     an [Error] here means the engine itself failed (journal I/O, a
+     corrupt cache): that is not a per-candidate fault — re-raise. *)
+  List.iter (function Error (e, _) -> raise e | Ok () -> ()) results;
+  (match Mutex.protect t.lock (fun () -> t.journal) with
+  | Some j when j.j_interrupted -> raise (Interrupted { file = j.j_file; journaled = j.j_written })
+  | _ -> ());
   Mutex.protect t.lock (fun () ->
-      List.iter
-        (fun (desc, time_s, host_s) ->
-          Hashtbl.replace t.cache desc time_s;
-          Hashtbl.replace t.host desc host_s;
-          t.runs <- t.runs + 1)
-        timed;
-      (* Re-read through the cache (not [timed]) so duplicates and
-         previously cached candidates resolve uniformly. *)
-      List.map (fun (c : Candidate.t) -> { cand = c; time_s = find_exn t c }) cands)
+      (* Re-read through the cache (not the worker results) so
+         duplicates and previously settled candidates resolve
+         uniformly. *)
+      List.map (fun (c : Candidate.t) -> (c, find_exn t c)) cands)
+
+(* The historical strict interface: measure everything, re-raising the
+   first fault in input order as [Fault.Fail] (the pre-fault-tolerance
+   abort semantics; also what `--fail-fast` restores).  Returns one
+   [measured] per input, in input order. *)
+let measure_all ?jobs t (cands : Candidate.t list) : measured list =
+  List.map
+    (fun ((c : Candidate.t), o) ->
+      match o with
+      | Ok time_s -> { cand = c; time_s }
+      | Error fault -> raise (Fault.Fail { desc = c.desc; fault }))
+    (measure_outcomes ?jobs t cands)
 
 (* Bookkeeping accessors. *)
 let runs t = Mutex.protect t.lock (fun () -> t.runs)

@@ -85,13 +85,10 @@ type analysis_input = {
   an_args : (string * Gpu.Sim.arg) list;
 }
 
-exception Pass_failed of { stage : string; reason : string }
-
-let () =
-  Printexc.register_printer (function
-    | Pass_failed { stage; reason } ->
-      Some (Printf.sprintf "Tuner.Pipeline.Pass_failed(%s: %s)" stage reason)
-    | _ -> None)
+(* The historical name; the exception itself lives in [Fault] (with its
+   printer) so the fault classifier can match on it without a
+   dependency cycle through the report layer. *)
+exception Pass_failed = Fault.Pass_failed
 
 (* Static size of a KIR body, for the trace. *)
 let rec stmt_count (ss : Kir.Ast.stmt list) : int =
@@ -246,6 +243,17 @@ let compile ?(verify = true) ?hook ?analyze (sched : schedule) (kernel : Kir.Ast
       notes = [];
     };
   { source = kir; ptx; resource; profile; lint }
+
+(* Fault-surfacing wrapper around [compile]: a verifier rejection or a
+   raising pass becomes a classified [Fault.t] instead of an exception,
+   so callers building candidates in bulk can record one bad config and
+   keep compiling the rest. *)
+let try_compile ?verify ?hook ?analyze (sched : schedule) (kernel : Kir.Ast.kernel) :
+    (compiled, Fault.t) result =
+  try Ok (compile ?verify ?hook ?analyze sched kernel)
+  with e ->
+    let bt = Printexc.get_backtrace () in
+    Error (Fault.classify ~backtrace:bt e)
 
 (* Lower + standard PTX optimization, no KIR passes: the entry point
    for already-configured kernels (minicuda files, examples). *)

@@ -163,3 +163,21 @@ let table4_header =
     "Selected eval time";
     "Optimum on curve";
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per measured-as-failed candidate: the config, the fault's
+   short tag, and the first line of its description (a crash backtrace
+   belongs in a log, not a table cell). *)
+let fault_table (faults : (Candidate.t * Fault.t) list) : string =
+  let first_line s = match String.index_opt s '\n' with
+    | None -> s
+    | Some i -> String.sub s 0 i
+  in
+  table
+    [ "Config"; "Fault"; "Detail" ]
+    (List.map
+       (fun ((c : Candidate.t), f) -> [ c.desc; Fault.tag f; first_line (Fault.to_string f) ])
+       faults)

@@ -6,7 +6,16 @@
    valid configuration (cheap: compile-only), keeps the Pareto-optimal
    subset, and runs only those.  The headline claims this reproduces:
    the optimum stays inside the selected subset, and the selected
-   subset is a small fraction of the space. *)
+   subset is a small fraction of the space.
+
+   Fault tolerance: a candidate whose measurement faults (pass bug,
+   launch rejection, simulator trap, watchdog abort — see [Fault]) is
+   recorded in [result.faults] and excluded from the survivors; every
+   statistic, the Pareto subset and both optima are computed over the
+   survivors.  A fault-free sweep produces exactly the pre-fault-
+   tolerance result with [faults = []].  [~fail_fast:true] restores the
+   historical semantics: the first fault in candidate order aborts the
+   sweep as [Fault.Fail]. *)
 
 type measured = Measure.measured = { cand : Candidate.t; time_s : float }
 
@@ -26,9 +35,10 @@ type result = {
   app_name : string;
   space_size : int;  (* valid configurations *)
   invalid : int;  (* configurations rejected at compile/launch time *)
+  faults : (Candidate.t * Fault.t) list;  (* measured-as-failed, in space order *)
   all : (Candidate.t * Metrics.t) list;  (* valid ones with their metrics *)
-  exhaustive : measured list;  (* every valid config, measured *)
-  best : measured;  (* the true optimum *)
+  exhaustive : measured list;  (* every surviving config, measured *)
+  best : measured;  (* the true optimum among survivors *)
   full_eval_time : float;  (* Table 4 "evaluation time" *)
   selected : (Candidate.t * Metrics.t) list;  (* Pareto-optimal subset *)
   selected_measured : measured list;
@@ -45,78 +55,143 @@ type result = {
 
 let measure (c : Candidate.t) : measured = { cand = c; time_s = c.run () }
 
+(* Identity of a candidate space, for checkpoint journals: an app name
+   plus the descs of its valid configurations, digested.  Resuming
+   against a journal written for a different space (the app changed, a
+   flag altered the candidate set) must fail loudly, not silently mix
+   measurements. *)
+let space_key ~(app_name : string) (cands : Candidate.t list) : string =
+  let descs =
+    List.filter_map (fun (c : Candidate.t) -> if c.valid then Some c.desc else None) cands
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" (app_name :: descs)))
+
 (* [?jobs] is the number of measurement worker domains (default: the
    GPUOPT_JOBS environment variable, else cores - 1, min 1 — see
    [Util.Pool.default_jobs]).  The result is identical for every value
    of [jobs]: measurement order does not affect simulated times, and
-   all orderings in [result] follow the input candidate order. *)
-let run ?jobs ~(app_name : string) (cands : Candidate.t list) : result =
+   all orderings in [result] follow the input candidate order.
+
+   [?checkpoint] attaches a measurement journal: settled outcomes are
+   appended to the file as they land, and a rerun with the same file
+   (same app, same space) skips them.  [?checkpoint_budget] bounds how
+   many new outcomes may be journaled before the sweep aborts with
+   [Measure.Interrupted] — the deterministic stand-in for killing a
+   long sweep, used by the resume tests and `gpuopt chaos`. *)
+let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ~(app_name : string)
+    (cands : Candidate.t list) : result =
   let valid, invalid = List.partition (fun (c : Candidate.t) -> c.valid) cands in
   if valid = [] then invalid_arg (app_name ^ ": no valid configuration in the space");
   let all = List.map (fun c -> (c, Metrics.of_candidate c)) valid in
   let wi0 = Gpu.Sim.warp_instrs_issued () and launches0 = Gpu.Sim.sim_runs () in
   let engine = Measure.create ~app_name () in
-  (* Exhaustive exploration: measure everything. *)
-  let exhaustive = Measure.measure_all ?jobs engine valid in
-  let best =
-    match Util.Stats.argmin (fun m -> m.time_s) exhaustive with
-    | Some b -> b
-    | None -> assert false
-  in
-  let full_eval_time = List.fold_left (fun a m -> a +. m.time_s) 0.0 exhaustive in
-  (* Pruned exploration: Pareto subset on (efficiency, utilization) at
-     the paper's plot resolution (metric-indistinguishable clusters
-     survive whole, as in Figure 6(b)). *)
-  let selected =
-    Pareto.frontier_quantized (fun (_, m) -> Metrics.(m.efficiency, m.utilization)) all
-  in
-  (* The Pareto subset re-reads the exhaustive measurements from the
-     cache; [time_exn] asserts the hit.  A miss would mean a selected
-     candidate escaped the exhaustive sweep — the old ad-hoc table
-     silently re-measured in that case, double-counting
-     [selected_eval_time]. *)
-  let selected_measured =
-    List.map (fun (c, _) -> { cand = c; time_s = Measure.time_exn engine c }) selected
-  in
-  let selected_best =
-    match Util.Stats.argmin (fun m -> m.time_s) selected_measured with
-    | Some b -> b
-    | None -> assert false
-  in
-  let selected_eval_time =
-    List.fold_left (fun a m -> a +. m.time_s) 0.0 selected_measured
-  in
-  let space_size = List.length valid in
-  let n_sel = List.length selected in
-  {
-    app_name;
-    space_size;
-    invalid = List.length invalid;
-    all;
-    exhaustive;
-    best;
-    full_eval_time;
-    selected;
-    selected_measured;
-    selected_best;
-    selected_eval_time;
-    reduction = 1.0 -. (float_of_int n_sel /. float_of_int space_size);
-    optimum_selected = selected_best.time_s <= best.time_s *. 1.02;
-    optimum_exact =
-      List.exists (fun ((c : Candidate.t), _) -> String.equal c.desc best.cand.desc) selected;
-    engine =
+  (match checkpoint with
+  | None -> ()
+  | Some file ->
+    ignore
+      (Measure.checkpoint ?stop_after:checkpoint_budget engine ~file
+         ~key:(space_key ~app_name cands)
+        : int));
+  Fun.protect
+    ~finally:(fun () -> Measure.close_journal engine)
+    (fun () ->
+      (* Exhaustive exploration: measure everything; faults settle as
+         recorded outcomes instead of killing the sweep. *)
+      let outcomes = Measure.measure_outcomes ?jobs engine valid in
+      let faults =
+        List.filter_map
+          (fun (c, o) -> match o with Error f -> Some (c, f) | Ok _ -> None)
+          outcomes
+      in
+      (if fail_fast then
+         match faults with
+         | ((c : Candidate.t), fault) :: _ -> raise (Fault.Fail { desc = c.desc; fault })
+         | [] -> ());
+      let exhaustive =
+        List.filter_map
+          (fun ((c : Candidate.t), o) ->
+            match o with Ok time_s -> Some { cand = c; time_s } | Error _ -> None)
+          outcomes
+      in
+      if exhaustive = [] then
+        invalid_arg
+          (Printf.sprintf "%s: every configuration in the space faulted (%d fault(s))" app_name
+             (List.length faults));
+      let best =
+        match Util.Stats.argmin (fun m -> m.time_s) exhaustive with
+        | Some b -> b
+        | None -> assert false
+      in
+      let full_eval_time = List.fold_left (fun a m -> a +. m.time_s) 0.0 exhaustive in
+      (* Pruned exploration over the survivors: Pareto subset on
+         (efficiency, utilization) at the paper's plot resolution
+         (metric-indistinguishable clusters survive whole, as in
+         Figure 6(b)).  With no faults this is the whole valid space —
+         the pre-fault-tolerance behavior, bit for bit. *)
+      let survivors =
+        match faults with
+        | [] -> all
+        | _ ->
+          let dead = List.map (fun ((c : Candidate.t), _) -> c.desc) faults in
+          List.filter (fun ((c : Candidate.t), _) -> not (List.mem c.desc dead)) all
+      in
+      let selected =
+        Pareto.frontier_quantized
+          (fun (_, m) -> Metrics.(m.efficiency, m.utilization))
+          survivors
+      in
+      (* The Pareto subset re-reads the exhaustive measurements from the
+         cache; [time_exn] asserts the hit.  A miss would mean a selected
+         candidate escaped the exhaustive sweep — the old ad-hoc table
+         silently re-measured in that case, double-counting
+         [selected_eval_time]. *)
+      let selected_measured =
+        List.map (fun (c, _) -> { cand = c; time_s = Measure.time_exn engine c }) selected
+      in
+      let selected_best =
+        match Util.Stats.argmin (fun m -> m.time_s) selected_measured with
+        | Some b -> b
+        | None -> assert false
+      in
+      let selected_eval_time =
+        List.fold_left (fun a m -> a +. m.time_s) 0.0 selected_measured
+      in
+      let space_size = List.length valid in
+      let n_survivors = List.length exhaustive in
+      let n_sel = List.length selected in
       {
-        measure_runs = Measure.runs engine;
-        measure_hits = Measure.hits engine;
-        measure_host_s = Measure.host_time engine;
-        sim_launches = Gpu.Sim.sim_runs () - launches0;
-        sim_warp_instrs = Gpu.Sim.warp_instrs_issued () - wi0;
-      };
-  }
+        app_name;
+        space_size;
+        invalid = List.length invalid;
+        faults;
+        all;
+        exhaustive;
+        best;
+        full_eval_time;
+        selected;
+        selected_measured;
+        selected_best;
+        selected_eval_time;
+        reduction = 1.0 -. (float_of_int n_sel /. float_of_int n_survivors);
+        optimum_selected = selected_best.time_s <= best.time_s *. 1.02;
+        optimum_exact =
+          List.exists
+            (fun ((c : Candidate.t), _) -> String.equal c.desc best.cand.desc)
+            selected;
+        engine =
+          {
+            measure_runs = Measure.runs engine;
+            measure_hits = Measure.hits engine;
+            measure_host_s = Measure.host_time engine;
+            sim_launches = Gpu.Sim.sim_runs () - launches0;
+            sim_warp_instrs = Gpu.Sim.warp_instrs_issued () - wi0;
+          };
+      })
 
 (* Pruned-only search: what a user of the methodology actually runs —
    compile + metrics for the whole space, measurement only for the
-   Pareto subset.  Returns the chosen configuration. *)
+   Pareto subset.  Returns the chosen configuration (faulted subset
+   members are skipped; the choice is over the survivors). *)
 let tune ?jobs ~(app_name : string) (cands : Candidate.t list) :
     measured * (Candidate.t * Metrics.t) list =
   let valid = List.filter (fun (c : Candidate.t) -> c.valid) cands in
@@ -126,7 +201,13 @@ let tune ?jobs ~(app_name : string) (cands : Candidate.t list) :
     Pareto.frontier_quantized (fun (_, m) -> Metrics.(m.efficiency, m.utilization)) all
   in
   let engine = Measure.create ~app_name () in
-  let measured = Measure.measure_all ?jobs engine (List.map fst selected) in
+  let outcomes = Measure.measure_outcomes ?jobs engine (List.map fst selected) in
+  let measured =
+    List.filter_map
+      (fun ((c : Candidate.t), o) ->
+        match o with Ok time_s -> Some { cand = c; time_s } | Error _ -> None)
+      outcomes
+  in
   match Util.Stats.argmin (fun m -> m.time_s) measured with
   | Some best -> (best, selected)
-  | None -> assert false
+  | None -> invalid_arg (app_name ^ ": every selected configuration faulted")

@@ -42,6 +42,43 @@ exception Launch_error of string
 
 let launch_error fmt = Printf.ksprintf (fun s -> raise (Launch_error s)) fmt
 
+(* Watchdog: a launch whose generated code never terminates (a broken
+   unroll bound, a mutated loop) would otherwise spin the simulator
+   forever.  [run ?budget] caps the warp instructions one launch may
+   issue; exceeding the cap aborts the launch with [Watchdog] instead
+   of hanging the sweep.  The budget is a limit on simulator work, not
+   a timing input: a launch that stays under it produces bit-identical
+   statistics whatever the cap. *)
+exception Watchdog of { issued : int; budget : int }
+
+let () =
+  Printexc.register_printer (function
+    | Watchdog { issued; budget } ->
+      Some
+        (Printf.sprintf "Gpu.Sim.Watchdog(issued %d warp instructions, budget %d)" issued budget)
+    | _ -> None)
+
+(* Default budget = warps simulated x this per-warp cap.  The cap is
+   process-wide (settable, or via GPUOPT_WATCHDOG_PER_WARP) so harnesses
+   can tighten it without threading a parameter through every caller;
+   the default leaves real kernels orders of magnitude of headroom —
+   the heaviest app kernel in the repo issues ~2e4 instructions per
+   warp. *)
+let default_watchdog_per_warp = 1_000_000
+
+let watchdog_per_warp_cap =
+  Atomic.make
+    (match Sys.getenv_opt "GPUOPT_WATCHDOG_PER_WARP" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with Some n when n > 0 -> n | _ -> default_watchdog_per_warp)
+    | None -> default_watchdog_per_warp)
+
+let watchdog_per_warp () = Atomic.get watchdog_per_warp_cap
+
+let set_watchdog_per_warp n =
+  if n < 1 then invalid_arg "Sim.set_watchdog_per_warp: cap must be >= 1";
+  Atomic.set watchdog_per_warp_cap n
+
 type arg = I of int | F of float | Buf of Device.buffer
 
 type launch = {
@@ -172,6 +209,7 @@ type env = {
   gdim_y : int;
   timing : bool;
   sm : sm;
+  budget : int;  (* watchdog: max warp instructions this launch may issue *)
   addrs : int array;  (* 32 lane addresses of the access in flight *)
   per_bank : int array;  (* Arch.shared_banks counters *)
 }
@@ -1280,6 +1318,8 @@ let issue (env : env) (ck : ckernel) ~(release : block_st -> int -> unit) (w : w
   let sp = w.sp in
   let mask = top_mask w in
   env.sm.n_warp_instrs <- env.sm.n_warp_instrs + 1;
+  if env.sm.n_warp_instrs > env.budget then
+    raise (Watchdog { issued = env.sm.n_warp_instrs; budget = env.budget });
   let db = ck.dblocks.(w.s_bi.(sp)) in
   let off = w.s_off.(sp) in
   if off >= Array.length db.dbody then begin
@@ -1595,7 +1635,7 @@ let default_max_blocks = 24
    one representative SM (capped) and extrapolates; in [Functional]
    mode executes every block of the grid. *)
 let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latencies)
-    ?(scheduler = Heap) (dev : Device.t) (l : launch) : stats =
+    ?(scheduler = Heap) ?budget (dev : Device.t) (l : launch) : stats =
   let gx, gy = l.grid in
   let bx, by = l.block in
   let tpb = bx * by in
@@ -1617,6 +1657,23 @@ let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latenci
   let sm =
     { issue_free = 0; mem_free = 0; n_warp_instrs = 0; n_tx = 0; n_bytes = 0; conflict_extra = 0 }
   in
+  (* Watchdog budget: explicit cap, or derived from the launch shape —
+     simulated warps times the per-warp cap (never below one warp's
+     worth, so degenerate launches keep headroom). *)
+  let budget =
+    match budget with
+    | Some b ->
+      if b < 1 then launch_error "watchdog budget must be >= 1 (got %d)" b;
+      b
+    | None ->
+      let warps_per_block = (tpb + 31) / 32 in
+      let blocks_accounted =
+        match mode with
+        | Functional -> gx * gy
+        | Timing { max_blocks } -> min (gx * gy) (max 1 max_blocks)
+      in
+      max 1 (warps_per_block * blocks_accounted) * watchdog_per_warp ()
+  in
   let env =
     {
       dev;
@@ -1627,6 +1684,7 @@ let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latenci
       gdim_y = gy;
       timing;
       sm;
+      budget;
       addrs = Array.make 32 0;
       per_bank = Array.make Arch.shared_banks 0;
     }

@@ -29,6 +29,31 @@ let drop_sync ~index (k : kernel) : kernel =
     fail "drop_sync: kernel %s has only %d barrier(s), cannot drop #%d" k.kname !count index;
   { k with body }
 
+(* Stretch the bound of the [index]-th For loop (0-based, depth-first)
+   to [iters] iterations: with a bound in the billions the kernel is a
+   livelock for all practical purposes, which is exactly what the
+   simulator's watchdog budget exists to catch.  Used by the chaos
+   harness to fabricate non-terminating candidates and by the watchdog
+   tests. *)
+let runaway_loop ?(index = 0) ~iters (k : kernel) : kernel =
+  if iters < 1 then fail "runaway_loop: iters must be >= 1 (got %d)" iters;
+  let count = ref 0 in
+  let rec stmts ss = List.map stmt ss
+  and stmt s =
+    match s with
+    | For l ->
+      let n = !count in
+      incr count;
+      if n = index then For { l with lo = Int 0; hi = Int iters; step = Int 1; trip = None }
+      else For { l with body = stmts l.body }
+    | If (c, t, e) -> If (c, stmts t, stmts e)
+    | Let _ | Mut _ | Assign _ | Store _ | Sync | Return -> s
+  in
+  let body = stmts k.body in
+  if !count <= index then
+    fail "runaway_loop: kernel %s has only %d loop(s), cannot stretch #%d" k.kname !count index;
+  { k with body }
+
 (* Swap tid.x and tid.y inside the *index* expression of every store
    to [array].  On a square-tiled kernel this turns a conflict-free
    row-major shared store into a column-major one (16-way banked). *)

@@ -68,15 +68,25 @@ let default_jobs () =
     | _ -> recommended)
   | None -> recommended
 
-let map ?jobs f xs =
+(* Apply [f] once per item, capturing any escaping exception (with its
+   backtrace, when recording is on) as that item's [Error] instead of
+   letting it poison the pool or abort the batch: one crashing thunk
+   costs exactly its own slot.  Workers and the queue always drain, so
+   the pool shuts down cleanly whatever the failure pattern. *)
+let map_result ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn * string) result list =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  if jobs < 1 then invalid_arg "Pool.map_result: jobs must be >= 1";
+  let wrap x =
+    try Ok (f x)
+    with e ->
+      let bt = Printexc.get_backtrace () in
+      Error (e, bt)
+  in
   let n = List.length xs in
-  if jobs = 1 || n <= 1 then List.map f xs
+  if jobs = 1 || n <= 1 then List.map wrap xs
   else begin
     let input = Array.of_list xs in
     let out = Array.make n None in
-    let err = Array.make n None in
     let remaining = ref n in
     let all_done = Condition.create () in
     let done_mutex = Mutex.create () in
@@ -84,7 +94,7 @@ let map ?jobs f xs =
     Array.iteri
       (fun i x ->
         submit pool (fun () ->
-            (try out.(i) <- Some (f x) with e -> err.(i) <- Some e);
+            out.(i) <- Some (wrap x);
             Mutex.lock done_mutex;
             decr remaining;
             if !remaining = 0 then Condition.signal all_done;
@@ -96,7 +106,16 @@ let map ?jobs f xs =
     done;
     Mutex.unlock done_mutex;
     shutdown pool;
+    Array.to_list (Array.map (function Some r -> r | None -> assert false) out)
+  end
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  if jobs = 1 || List.length xs <= 1 then List.map f xs
+  else begin
+    let results = map_result ~jobs f xs in
     (* Re-raise the first failure in input order, deterministically. *)
-    Array.iter (function Some e -> raise e | None -> ()) err;
-    Array.to_list (Array.map (function Some v -> v | None -> assert false) out)
+    List.iter (function Error (e, _) -> raise e | Ok _ -> ()) results;
+    List.map (function Ok v -> v | Error _ -> assert false) results
   end

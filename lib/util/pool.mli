@@ -15,12 +15,23 @@ val create : jobs:int -> t
 (* Number of worker domains. *)
 val size : t -> int
 
-(* Enqueue a task.  Tasks must not raise: an escaping exception kills
-   the worker silently ([map] wraps user functions so this cannot
-   happen).  Raises [Invalid_argument] after [shutdown]. *)
+(* Enqueue a task.  An exception escaping a task is swallowed by the
+   worker loop — the worker survives and takes the next task ([map] and
+   [map_result] wrap user functions, so results are never lost this
+   way).  Raises [Invalid_argument] after [shutdown]. *)
 val submit : t -> (unit -> unit) -> unit
 
-(* Drain the queue, stop the workers and join them.  Idempotent. *)
+(* Stop the workers and join them.  Safe in every queue/worker state:
+
+   - with workers idle on an empty queue (the common case), the
+     broadcast wakes them out of [Condition.wait] and each exits;
+   - with tasks still queued, workers drain the queue first — [stop]
+     only ends a worker once it finds the queue empty;
+   - after a task raised mid-queue, the worker that ran it is still
+     alive (task exceptions never escape the worker loop), so the join
+     cannot hang on a dead domain.
+
+   Idempotent: a second [shutdown] joins an empty worker list. *)
 val shutdown : t -> unit
 
 (* Worker count used when [?jobs] is omitted: the [GPUOPT_JOBS]
@@ -40,3 +51,12 @@ val default_jobs : unit -> int
    - [jobs] larger than the list length spawns only as many workers as
      there are elements. *)
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(* Crash-isolated [map]: each item resolves to [Ok (f x)] or, if that
+   application raised, [Error (exn, backtrace)] — the backtrace string
+   is whatever [Printexc.get_backtrace] captured at the raise site
+   (empty unless backtrace recording is on).  One crashing thunk costs
+   exactly its own slot: every other item still completes, order is
+   preserved, and the pool shuts down cleanly.  This is the primitive
+   the tuner's fault-tolerant measurement engine builds on. *)
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn * string) result list

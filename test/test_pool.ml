@@ -82,4 +82,97 @@ let pool_tests =
         check_b "positive" true (Util.Pool.default_jobs () >= 1));
   ]
 
-let suite = [ ("util.pool", pool_tests) ]
+(* The crash-isolated map the fault-tolerant measurement engine builds
+   on: one raising thunk costs its own slot, never its neighbors'. *)
+let map_result_tests =
+  [
+    t "one crashing item, everyone else completes" (fun () ->
+        let r =
+          Util.Pool.map_result ~jobs:4
+            (fun x -> if x = 5 then raise (Boom x) else x * 2)
+            (List.init 10 Fun.id)
+        in
+        check_i "all items resolved" 10 (List.length r);
+        List.iteri
+          (fun i o ->
+            match o with
+            | Ok v -> check_i "survivor value" (i * 2) v
+            | Error (Boom n, _) ->
+              check_i "crash is item 5" 5 i;
+              check_i "payload" 5 n
+            | Error (e, _) -> raise e)
+          r);
+    t "all-crash input yields all Errors, in order" (fun () ->
+        let r = Util.Pool.map_result ~jobs:3 (fun x -> raise (Boom x)) [ 0; 1; 2; 3 ] in
+        List.iteri
+          (fun i o ->
+            match o with
+            | Error (Boom n, bt) ->
+              check_i "order preserved" i n;
+              (* The backtrace slot is a string either way; content
+                 depends on whether recording is on. *)
+              check_b "backtrace is a string" true (String.length bt >= 0)
+            | _ -> Alcotest.fail "expected Error")
+          r);
+    t "jobs:1 map_result isolates without domains" (fun () ->
+        let here = Domain.self () in
+        let r =
+          Util.Pool.map_result ~jobs:1
+            (fun x ->
+              check_b "on calling domain" true (Domain.self () = here);
+              if x = 1 then failwith "mid" else x)
+            [ 0; 1; 2 ]
+        in
+        match r with
+        | [ Ok 0; Error (Failure m, _); Ok 2 ] when m = "mid" -> ()
+        | _ -> Alcotest.fail "unexpected shape");
+    t "map over map_result: fault-free results unwrap" (fun () ->
+        Alcotest.(check (list int))
+          "same as List.map" [ 0; 2; 4; 6 ]
+          (Util.Pool.map_result ~jobs:2 (fun x -> 2 * x) [ 0; 1; 2; 3 ]
+          |> List.map (function Ok v -> v | Error (e, _) -> raise e)));
+  ]
+
+(* Shutdown-path coverage: the pool must come down cleanly whatever the
+   queue and workers were doing. *)
+let shutdown_tests =
+  [
+    t "shutdown with workers idle on an empty queue" (fun () ->
+        let p = Util.Pool.create ~jobs:3 in
+        (* Workers are parked in Condition.wait; the broadcast must wake
+           and end all three, and shutdown joins them. *)
+        Util.Pool.shutdown p;
+        check_b "returned" true true);
+    t "shutdown drains queued tasks first" (fun () ->
+        let p = Util.Pool.create ~jobs:2 in
+        let done_count = Atomic.make 0 in
+        for _ = 1 to 50 do
+          Util.Pool.submit p (fun () -> Atomic.incr done_count)
+        done;
+        Util.Pool.shutdown p;
+        check_i "all queued tasks ran" 50 (Atomic.get done_count));
+    t "a raising task does not kill its worker" (fun () ->
+        let p = Util.Pool.create ~jobs:1 in
+        let done_count = Atomic.make 0 in
+        (* With one worker, the raising task and its successors run on
+           the same domain: if the exception killed it, the later tasks
+           would never run and shutdown would hang on a dead join. *)
+        Util.Pool.submit p (fun () -> raise (Boom 1));
+        for _ = 1 to 10 do
+          Util.Pool.submit p (fun () -> Atomic.incr done_count)
+        done;
+        Util.Pool.shutdown p;
+        check_i "worker survived the raise" 10 (Atomic.get done_count));
+    t "shutdown is idempotent" (fun () ->
+        let p = Util.Pool.create ~jobs:2 in
+        Util.Pool.shutdown p;
+        Util.Pool.shutdown p;
+        check_b "second shutdown is a no-op" true true);
+  ]
+
+let suite =
+  [
+    ("util.pool", pool_tests);
+    ("util.pool.map_result", map_result_tests);
+    ("util.pool.shutdown", shutdown_tests);
+  ]
