@@ -805,6 +805,236 @@ let chaos () =
         && resumed.selected_eval_time = r.selected_eval_time))
 
 (* ------------------------------------------------------------------ *)
+(* Serve: tuning-as-a-service load harness                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon under load.  A server is spawned on a Unix-domain socket
+   with a fresh content-addressed store, then:
+
+   - cold phase: one served explore per application, checked
+     bit-identical to a direct [Search.run] over the same space;
+   - mixed phase: a deterministic stream of concurrent requests (warm
+     explores and tunes across all four apps, pings, stats, and
+     chaos-faulted sweeps that bypass the store) replayed from parallel
+     client domains, every reply validated, every exchange timed.
+
+   Reports p50/p99 latency per request class and the store hit rate,
+   and writes BENCH_serve.json so the serving perf trajectory is
+   machine-checkable across commits.  GPUOPT_SERVE_REQUESTS overrides
+   the mixed-phase request count (CI runs a reduced battery). *)
+
+let serve_apps = [ "matmul"; "cp"; "sad"; "mri" ]
+
+let serve () =
+  let module P = Tuner.Proto in
+  let module Srv = Tuner.Serve in
+  let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let requested =
+    match Sys.getenv_opt "GPUOPT_SERVE_REQUESTS" with
+    | Some s -> (match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1200)
+    | None -> 1200
+  in
+  let nclients = 4 and conn_workers = 4 in
+  let per_client = max 16 ((requested + nclients - 1) / nclients) in
+  let total = per_client * nclients in
+  section
+    (Printf.sprintf
+       "Serve: tuning-as-a-service load harness (%d mixed requests, %d clients, %d conn workers)"
+       total nclients conn_workers);
+  let store_file = Filename.temp_file "gpuopt-serve-bench-" ".store" in
+  let socket = Filename.temp_file "gpuopt-serve-bench-" ".sock" in
+  let cleanup f = try Sys.remove f with Sys_error _ -> () in
+  Fun.protect
+    ~finally:(fun () -> cleanup store_file; cleanup socket)
+    (fun () ->
+      let store = Tuner.Store.open_ ~file:store_file in
+      Fun.protect
+        ~finally:(fun () -> Tuner.Store.close store)
+        (fun () ->
+          let server = Srv.create ~jobs:!jobs ~store (Apps.Serving.resolver ()) in
+          let daemon =
+            Domain.spawn (fun () -> Srv.listen ~conn_workers ~poll_s:0.05 server ~socket ())
+          in
+          check "daemon comes up" (Srv.wait_ready ~socket ());
+          (* ---- cold phase: served = direct, bit for bit ---------- *)
+          let rows ms =
+            List.map (fun (m : Tuner.Search.measured) -> (m.cand.desc, m.time_s)) ms
+          in
+          let pair_eq (d, t) (d', t') = d = d' && feq t t' in
+          let same_explore (direct : Tuner.Search.result) (x : P.explore_reply) : bool =
+            let got = List.map (fun (r : P.measured_row) -> (r.m_desc, r.m_time_s)) x.x_exhaustive in
+            let want = rows direct.exhaustive in
+            x.x_space_size = direct.space_size
+            && List.length got = List.length want
+            && List.for_all2 pair_eq want got
+            && pair_eq (direct.best.cand.desc, direct.best.time_s) (x.x_best.m_desc, x.x_best.m_time_s)
+            && pair_eq
+                 (direct.selected_best.cand.desc, direct.selected_best.time_s)
+                 (x.x_selected_best.m_desc, x.x_selected_best.m_time_s)
+            && x.x_selected
+               = List.map (fun ((c : Tuner.Candidate.t), _) -> c.desc) direct.selected
+            && feq direct.reduction x.x_reduction
+            && x.x_optimum_selected = direct.optimum_selected
+          in
+          let cold =
+            List.map
+              (fun app ->
+                let e = registry app in
+                let direct = Tuner.Search.run ~jobs:!jobs ~app_name:app (e.quick_candidates ()) in
+                let t0 = Unix.gettimeofday () in
+                let reply = Srv.call ~socket (P.Explore { app; scale = P.Quick; chaos = None }) in
+                let dt = Unix.gettimeofday () -. t0 in
+                match reply with
+                | Ok (P.Explore_r x) -> (app, dt, same_explore direct x)
+                | _ -> (app, dt, false))
+              serve_apps
+          in
+          List.iter
+            (fun (app, dt, _) -> printf "  cold %-8s %8.1f ms (space measured + stored)\n" app (dt *. 1000.0))
+            cold;
+          check "served cold explore bit-identical to direct Search.run (all four apps)"
+            (List.for_all (fun (_, _, ok) -> ok) cold);
+          (* ---- mixed phase: concurrent deterministic stream ------ *)
+          let app_of gi = List.nth serve_apps (gi / 4 mod 4) in
+          let request_of gi : string * P.request =
+            if gi mod 64 = 31 then
+              ("chaos",
+               P.Explore
+                 { app = "matmul"; scale = P.Quick; chaos = Some { P.ch_seed = gi; ch_count = 2 } })
+            else if gi mod 16 = 5 then ("ping", P.Ping)
+            else if gi mod 16 = 13 then ("stats", P.Stats)
+            else if gi mod 4 = 2 then ("tune", P.Tune { app = app_of gi; scale = P.Quick })
+            else ("explore", P.Explore { app = app_of gi; scale = P.Quick; chaos = None })
+          in
+          let validate kind (resp : (P.response, string) result) : string option =
+            match (kind, resp) with
+            | _, Error e -> Some ("transport: " ^ e)
+            | "ping", Ok P.Pong -> None
+            | "stats", Ok (P.Stats_r _) -> None
+            | "tune", Ok (P.Tune_r r) ->
+              if r.t_runs = 0 then None else Some "warm tune ran the simulator"
+            | "explore", Ok (P.Explore_r x) ->
+              if x.x_runs <> 0 then Some "warm explore ran the simulator"
+              else if x.x_faults <> [] then Some "warm explore reported faults"
+              else None
+            | "chaos", Ok (P.Explore_r x) ->
+              if x.x_store_hits <> 0 then Some "chaos sweep touched the store"
+              else if List.length x.x_faults <> 2 then Some "chaos fault count wrong"
+              else if
+                List.exists
+                  (fun (f : P.fault_row) -> Tuner.Fault.of_journal f.f_fault = None)
+                  x.x_faults
+              then Some "chaos fault not in journal encoding"
+              else None
+            | k, Ok _ -> Some (k ^ ": unexpected reply type")
+          in
+          let run_client off count =
+            Srv.with_client ~socket (fun fd ->
+                let lats = Array.make count ("", 0.0) in
+                let bad = ref [] in
+                for i = 0 to count - 1 do
+                  let gi = off + i in
+                  let kind, req = request_of gi in
+                  let t0 = Unix.gettimeofday () in
+                  let resp = Srv.rpc fd req in
+                  lats.(i) <- (kind, Unix.gettimeofday () -. t0);
+                  match validate kind resp with
+                  | None -> ()
+                  | Some msg -> bad := Printf.sprintf "request %d (%s): %s" gi kind msg :: !bad
+                done;
+                (lats, List.rev !bad))
+          in
+          let t0 = Unix.gettimeofday () in
+          let clients =
+            List.init nclients (fun k ->
+                Domain.spawn (fun () -> run_client (k * per_client) per_client))
+          in
+          let results = List.map Domain.join clients in
+          let wall = Unix.gettimeofday () -. t0 in
+          let lats = Array.concat (List.map fst results) in
+          let bad = List.concat_map snd results in
+          List.iteri (fun i m -> if i < 5 then printf "  MALFORMED %s\n" m) bad;
+          check "mixed phase: zero transport errors, zero malformed replies" (bad = []);
+          (* ---- latency statistics -------------------------------- *)
+          let percentile xs p =
+            let n = Array.length xs in
+            if n = 0 then Float.nan else xs.(min (n - 1) (int_of_float (p *. float_of_int n)))
+          in
+          let classes = [ "explore"; "tune"; "ping"; "stats"; "chaos" ] in
+          let stats_of kind =
+            let xs =
+              Array.of_list
+                (List.filter_map
+                   (fun (k, dt) -> if k = kind then Some dt else None)
+                   (Array.to_list lats))
+            in
+            Array.sort compare xs;
+            (kind, Array.length xs, percentile xs 0.50, percentile xs 0.99, percentile xs 1.0)
+          in
+          let per_class = List.map stats_of classes in
+          let all = Array.map snd lats in
+          Array.sort compare all;
+          let p50_all = percentile all 0.50 and p99_all = percentile all 0.99 in
+          print_string
+            (Tuner.Report.table
+               [ "Class"; "Requests"; "p50 (ms)"; "p99 (ms)"; "max (ms)" ]
+               (List.map
+                  (fun (k, n, p50, p99, mx) ->
+                    [
+                      k;
+                      string_of_int n;
+                      Printf.sprintf "%.2f" (p50 *. 1000.0);
+                      Printf.sprintf "%.2f" (p99 *. 1000.0);
+                      Printf.sprintf "%.2f" (mx *. 1000.0);
+                    ])
+                  per_class));
+          printf "mixed phase: %d requests in %.2fs (%.0f req/s); p50 %.2f ms, p99 %.2f ms\n"
+            total wall
+            (float_of_int total /. wall)
+            (p50_all *. 1000.0) (p99_all *. 1000.0);
+          check "p99 latency across the mixed phase under 30 s" (p99_all < 30.0);
+          (* ---- hit rate and shutdown ----------------------------- *)
+          let hits, misses, entries, runs =
+            match Srv.call ~socket P.Stats with
+            | Ok (P.Stats_r s) -> (s.sv_store_hits, s.sv_store_misses, s.sv_store_entries, s.sv_runs)
+            | _ ->
+              check "final stats reply" false;
+              (0, 1, 0, 0)
+          in
+          let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+          printf "store: %d hits / %d misses (hit rate %.2f%%), %d entries, %d simulator runs total\n"
+            hits misses (100.0 *. hit_rate) entries runs;
+          check
+            (Printf.sprintf "warm-cache hit rate >= 90%% (measured %.1f%%)" (100.0 *. hit_rate))
+            (hit_rate >= 0.90);
+          (match Srv.call ~socket P.Shutdown with
+          | Ok P.Bye -> ()
+          | _ -> check "shutdown acknowledged" false);
+          Domain.join daemon;
+          check "daemon shut down cleanly; socket unlinked" (not (Sys.file_exists socket));
+          (* ---- BENCH_serve.json ---------------------------------- *)
+          let json = Buffer.create 1024 in
+          Printf.bprintf json
+            "{\n  \"bench\": \"serve\",\n  \"requests\": %d,\n  \"clients\": %d,\n  \"conn_workers\": %d,\n  \"jobs\": %d,\n  \"wall_s\": %.6f,\n  \"throughput_rps\": %.1f,\n  \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f,\n  \"hit_rate\": %.6f,\n  \"store\": {\"hits\": %d, \"misses\": %d, \"entries\": %d, \"sim_runs\": %d},\n  \"cold_ms\": {%s},\n  \"classes\": [\n"
+            total nclients conn_workers !jobs wall
+            (float_of_int total /. wall)
+            (p50_all *. 1000.0) (p99_all *. 1000.0) hit_rate hits misses entries runs
+            (String.concat ", "
+               (List.map (fun (app, dt, _) -> Printf.sprintf "\"%s\": %.3f" app (dt *. 1000.0)) cold));
+          List.iteri
+            (fun idx (k, n, p50, p99, mx) ->
+              Printf.bprintf json
+                "    {\"class\": %S, \"count\": %d, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f}%s\n"
+                k n (p50 *. 1000.0) (p99 *. 1000.0) (mx *. 1000.0)
+                (if idx = List.length per_class - 1 then "" else ","))
+            per_class;
+          Printf.bprintf json "  ]\n}\n";
+          let oc = open_out "BENCH_serve.json" in
+          output_string oc (Buffer.contents json);
+          close_out oc;
+          printf "wrote BENCH_serve.json\n"))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -822,6 +1052,7 @@ let experiments =
     ("perf", perf);
     ("bechamel", bechamel);
     ("chaos", chaos);
+    ("serve", serve);
   ]
 
 let () =

@@ -9,6 +9,8 @@
      gpuopt compile <file.mcu>   minicuda -> PTX, resources, profile
      gpuopt run <file.mcu> ...   compile and simulate a kernel
      gpuopt chaos <app>          fault-injection self-test of the tuner
+     gpuopt serve                tuning-service daemon (store-backed)
+     gpuopt request <verb> ...   send one request to a running daemon
 
    Applications come from the registry (Apps.Registry.all): matmul,
    cp, sad, mri. *)
@@ -43,6 +45,28 @@ let stats_arg =
 
 let candidates_of (e : Apps.Registry.entry) quick =
   if quick then e.quick_candidates () else e.candidates ()
+
+(* Shared by explore/tune: an optional content-addressed result store,
+   the same file format the serve daemon uses, so one-shot CLI sweeps
+   and the service share measurements. *)
+let store_arg =
+  let doc =
+    "Back measurements with the content-addressed result store in $(docv) (created if absent): \
+     points already present are answered from disk, new measurements are appended.  The same \
+     file drives $(b,gpuopt serve)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
+
+let with_store store_file (f : Tuner.Store.t option -> 'a) : 'a =
+  match store_file with
+  | None -> f None
+  | Some file ->
+    let store = Tuner.Store.open_ ~file in
+    List.iter
+      (fun (c : Tuner.Store.corrupt_line) ->
+        Printf.eprintf "store: %s:%d rejected: %s\n%!" file c.cl_line c.cl_reason)
+      (Tuner.Store.corrupt_entries store);
+    Fun.protect ~finally:(fun () -> Tuner.Store.close store) (fun () -> f (Some store))
 
 let jobs_arg =
   let doc =
@@ -112,9 +136,13 @@ let explore_cmd =
             "Abort the sweep on the first measurement fault instead of recording it and \
              searching over the survivors.")
   in
-  let run (e : Apps.Registry.entry) jobs quick stats checkpoint fail_fast =
+  let run (e : Apps.Registry.entry) jobs quick stats checkpoint fail_fast store_file =
     let r =
-      try Tuner.Search.run ~jobs ~fail_fast ?checkpoint ~app_name:e.name (candidates_of e quick)
+      try
+        with_store store_file (fun store ->
+            Tuner.Search.run ~jobs ~fail_fast ?checkpoint ?store
+              ~store_scale:(if quick then "quick" else "full")
+              ~app_name:e.name (candidates_of e quick))
       with
       | Tuner.Fault.Fail { desc; fault } ->
         Printf.eprintf "fault in %s: %s\n" desc (Tuner.Fault.to_string fault);
@@ -146,11 +174,15 @@ let explore_cmd =
         s.sim_warp_instrs s.measure_host_s;
       if s.measure_host_s > 0.0 then
         Printf.printf " (%.2f M warp-instrs/s)" (float_of_int s.sim_warp_instrs /. s.measure_host_s /. 1e6);
-      Printf.printf "\n"
+      Printf.printf "\n";
+      if store_file <> None then
+        Printf.printf "result store:       %d hit(s), %d miss(es)\n" s.store_hits s.store_misses
     end
   in
   Cmd.v (Cmd.info "explore" ~doc)
-    Term.(const run $ app_arg $ jobs_arg $ quick_arg $ stats_arg $ checkpoint_arg $ fail_fast_arg)
+    Term.(
+      const run $ app_arg $ jobs_arg $ quick_arg $ stats_arg $ checkpoint_arg $ fail_fast_arg
+      $ store_arg)
 
 let chaos_cmd =
   let doc =
@@ -298,9 +330,15 @@ let tune_cmd =
     "Run the paper's methodology: compile the whole space, compute the static metrics, measure \
      only the Pareto-optimal subset, report the chosen configuration."
   in
-  let run (e : Apps.Registry.entry) jobs quick =
+  let run (e : Apps.Registry.entry) jobs quick store_file =
     let cands = candidates_of e quick in
-    let best, selected = Tuner.Search.tune ~jobs ~app_name:e.name cands in
+    let tuned =
+      with_store store_file (fun store ->
+          Tuner.Search.tune_full ~jobs ?store
+            ~store_scale:(if quick then "quick" else "full")
+            ~app_name:e.name cands)
+    in
+    let best = tuned.Tuner.Search.chosen and selected = tuned.Tuner.Search.considered in
     Printf.printf "space: %d configurations, measured only %d (%.0f%% pruned)\n"
       (List.length (List.filter (fun (c : Tuner.Candidate.t) -> c.valid) cands))
       (List.length selected)
@@ -313,9 +351,12 @@ let tune_cmd =
       (fun ((c : Tuner.Candidate.t), (m : Tuner.Metrics.t)) ->
         Printf.printf "  candidate %-28s eff=%.3e util=%8.1f\n" c.desc m.efficiency m.utilization)
       selected;
-    Printf.printf "chosen: %s (%.4f ms simulated)\n" best.cand.desc (best.time_s *. 1000.0)
+    Printf.printf "chosen: %s (%.4f ms simulated)\n" best.cand.desc (best.time_s *. 1000.0);
+    if store_file <> None then
+      Printf.printf "result store: %d hit(s), %d miss(es)\n" tuned.tune_engine.store_hits
+        tuned.tune_engine.store_misses
   in
-  Cmd.v (Cmd.info "tune" ~doc) Term.(const run $ app_arg $ jobs_arg $ quick_arg)
+  Cmd.v (Cmd.info "tune" ~doc) Term.(const run $ app_arg $ jobs_arg $ quick_arg $ store_arg)
 
 let inspect_cmd =
   let doc =
@@ -523,10 +564,176 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(const run $ file_arg $ grid $ block $ bufs $ ramps $ ints $ floats $ show)
 
+(* ------------------------------------------------------------------ *)
+(* Tuning service                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path the daemon listens on." in
+  Arg.(value & opt string "gpuopt.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let doc =
+    "Run the tuning service: a daemon answering tune/explore/lint requests over a \
+     length-prefixed JSON protocol on a Unix-domain socket, with every measurement backed by a \
+     persistent content-addressed store — no (kernel x space x arch) point is ever measured \
+     twice, by any client, in any session.  Stop it with $(b,gpuopt request shutdown)."
+  in
+  let store_arg =
+    let doc =
+      "Content-addressed result store file (created if absent; appended atomically; corrupt \
+       entries are rejected and skipped on load)."
+    in
+    Arg.(value & opt string "gpuopt.store" & info [ "store" ] ~docv:"FILE" ~doc)
+  in
+  let conns_arg =
+    let doc = "Connection-worker domains (concurrent requests in flight)." in
+    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc)
+  in
+  let run socket store_file conns jobs =
+    let store = Tuner.Store.open_ ~file:store_file in
+    List.iter
+      (fun (c : Tuner.Store.corrupt_line) ->
+        Printf.eprintf "store: %s:%d rejected: %s\n%!" store_file c.cl_line c.cl_reason)
+      (Tuner.Store.corrupt_entries store);
+    let server = Tuner.Serve.create ~jobs ~store (Apps.Serving.resolver ()) in
+    Printf.printf "gpuopt serve: listening on %s (store %s: %d entr%s loaded, %d conn worker(s), \
+                   %d measurement job(s))\n%!"
+      socket store_file
+      (Tuner.Store.loaded store)
+      (if Tuner.Store.loaded store = 1 then "y" else "ies")
+      conns jobs;
+    Tuner.Serve.listen ~conn_workers:conns server ~socket ();
+    let s = Tuner.Serve.stats server in
+    Tuner.Store.close store;
+    Printf.printf
+      "gpuopt serve: shut down after %d request(s) (%d error(s)); %d simulator run(s), %d store \
+       hit(s), %d entr%s in %s\n"
+      s.sv_requests s.sv_errors s.sv_runs s.sv_store_hits s.sv_store_entries
+      (if s.sv_store_entries = 1 then "y" else "ies")
+      store_file
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ socket_arg $ store_arg $ conns_arg $ jobs_arg)
+
+let request_cmd =
+  let doc =
+    "Send one request to a running $(b,gpuopt serve) daemon and print the reply.  Verbs: \
+     $(b,ping), $(b,stats), $(b,tune) $(i,APP), $(b,explore) $(i,APP), $(b,lint) $(i,APP), \
+     $(b,shutdown).  Exits nonzero if the server answers with an error."
+  in
+  let verb_arg =
+    let verbs = [ "ping"; "stats"; "tune"; "explore"; "lint"; "shutdown" ] in
+    let parse s = if List.mem s verbs then Ok s else Error (`Msg ("unknown verb " ^ s)) in
+    Arg.(
+      required
+      & pos 0 (some (conv (parse, Format.pp_print_string))) None
+      & info [] ~docv:"VERB" ~doc:"ping | stats | tune | explore | lint | shutdown")
+  in
+  let req_app_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"APP" ~doc:"Application name")
+  in
+  let scale_arg =
+    let parse s =
+      match Tuner.Proto.scale_of_name s with
+      | Some sc -> Ok sc
+      | None -> Error (`Msg (Printf.sprintf "unknown scale %S (quick|bench|full)" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, fun fmt s -> Format.pp_print_string fmt (Tuner.Proto.scale_name s)))
+          Tuner.Proto.Quick
+      & info [ "scale" ] ~docv:"SCALE" ~doc:"Problem scale: quick, bench or full.")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' int int)) None
+      & info [ "chaos" ] ~docv:"SEED,COUNT"
+          ~doc:
+            "Inject $(i,COUNT) seeded faults into the explore sweep (server-side, store \
+             bypassed).")
+  in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"DESC" ~doc:"Configuration for lint, by description.")
+  in
+  let need_app verb = function
+    | Some a -> a
+    | None ->
+      Printf.eprintf "request %s: missing APP argument\n" verb;
+      exit 2
+  in
+  let print_row tag (r : Tuner.Proto.measured_row) =
+    Printf.printf "%s %s  (%.4f ms simulated)\n" tag r.m_desc (r.m_time_s *. 1000.0)
+  in
+  let run socket verb app scale chaos config =
+    let req =
+      match verb with
+      | "ping" -> Tuner.Proto.Ping
+      | "stats" -> Tuner.Proto.Stats
+      | "shutdown" -> Tuner.Proto.Shutdown
+      | "tune" -> Tuner.Proto.Tune { app = need_app verb app; scale }
+      | "explore" ->
+        Tuner.Proto.Explore
+          {
+            app = need_app verb app;
+            scale;
+            chaos =
+              Option.map (fun (seed, count) -> { Tuner.Proto.ch_seed = seed; ch_count = count }) chaos;
+          }
+      | "lint" -> Tuner.Proto.Lint { app = need_app verb app; config }
+      | _ -> assert false
+    in
+    match Tuner.Serve.call ~socket req with
+    | Error msg ->
+      Printf.eprintf "request: %s (is `gpuopt serve --socket %s` running?)\n" msg socket;
+      exit 1
+    | Ok resp -> (
+      match resp with
+      | Tuner.Proto.Pong -> print_endline "pong"
+      | Tuner.Proto.Bye -> print_endline "server shutting down"
+      | Tuner.Proto.Stats_r s ->
+        Printf.printf
+          "requests %d (errors %d)\nsimulator runs %d\nstore: %d hit(s), %d miss(es), %d \
+           entr%s\n"
+          s.sv_requests s.sv_errors s.sv_runs s.sv_store_hits s.sv_store_misses
+          s.sv_store_entries
+          (if s.sv_store_entries = 1 then "y" else "ies")
+      | Tuner.Proto.Tune_r t ->
+        Printf.printf "space: %d configurations, measured only %d (%d run(s), %d store hit(s))\n"
+          t.t_space_size (List.length t.t_selected) t.t_runs t.t_store_hits;
+        print_row "chosen:" t.t_chosen
+      | Tuner.Proto.Explore_r x ->
+        Printf.printf
+          "space: %d valid configurations (%d invalid), %d fault(s)\nreduction %.1f%%, optimum \
+           %sselected (%d run(s), %d store hit(s))\n"
+          x.x_space_size x.x_invalid (List.length x.x_faults) (100.0 *. x.x_reduction)
+          (if x.x_optimum_selected then "" else "NOT ")
+          x.x_runs x.x_store_hits;
+        print_row "true optimum: " x.x_best;
+        print_row "pruned search:" x.x_selected_best;
+        List.iter
+          (fun (f : Tuner.Proto.fault_row) -> Printf.printf "fault: %s: %s\n" f.f_desc f.f_fault)
+          x.x_faults
+      | Tuner.Proto.Lint_r { l_report; l_errors } ->
+        print_string l_report;
+        if l_errors then exit 1
+      | Tuner.Proto.Error_r { e_code; e_msg } ->
+        Printf.eprintf "server error [%s]: %s\n" (Tuner.Proto.error_code_name e_code) e_msg;
+        exit 1)
+  in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(const run $ socket_arg $ verb_arg $ req_app_arg $ scale_arg $ chaos_arg $ config_arg)
+
 let () =
   let doc = "program optimization space pruning for a multithreaded GPU (CGO'08 reproduction)" in
   let info = Cmd.info "gpuopt" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ arch_cmd; explore_cmd; tune_cmd; inspect_cmd; lint_cmd; compile_cmd; run_cmd; chaos_cmd ]))
+          [
+            arch_cmd; explore_cmd; tune_cmd; inspect_cmd; lint_cmd; compile_cmd; run_cmd;
+            chaos_cmd; serve_cmd; request_cmd;
+          ]))

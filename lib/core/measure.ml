@@ -19,7 +19,12 @@
    - an optional checkpoint journal: every settled outcome (time or
      fault) is appended to a file as it lands, and a fresh engine can
      reload the journal to skip finished work, so an interrupted
-     multi-hour sweep resumes where it stopped.
+     multi-hour sweep resumes where it stopped;
+   - an optional content-addressed result store ([Store]): before
+     paying for the simulator, the engine asks the store for the
+     candidate's key, and every outcome it does pay for is written
+     back — so across engines, processes and serving sessions, no
+     (kernel x space x arch) point is ever measured twice.
 
    Determinism: simulated times depend only on the candidate itself
    (each [run] thunk operates on private state — see the domain-safety
@@ -53,6 +58,11 @@ type journal = {
   mutable j_interrupted : bool;  (* budget exhausted: abort the sweep *)
 }
 
+(* A shared result store bound to this engine: where to look before
+   running the simulator, and how to derive a candidate's
+   content-addressed key. *)
+type store_binding = { sb_store : Store.t; sb_key : Candidate.t -> string }
+
 type t = {
   app_name : string;
   lock : Mutex.t;  (* guards every field below *)
@@ -60,7 +70,10 @@ type t = {
   host : (string, float) Hashtbl.t;  (* desc -> host seconds spent measuring *)
   mutable runs : int;  (* simulator invocations actually performed *)
   mutable hits : int;  (* measurements answered from the cache *)
+  mutable store_hits : int;  (* ...of which answered by the result store *)
+  mutable store_misses : int;  (* store consulted, simulator paid anyway *)
   mutable journal : journal option;
+  mutable store : store_binding option;
 }
 
 let create ~app_name () =
@@ -71,8 +84,19 @@ let create ~app_name () =
     host = Hashtbl.create 64;
     runs = 0;
     hits = 0;
+    store_hits = 0;
+    store_misses = 0;
     journal = None;
+    store = None;
   }
+
+(* Bind a content-addressed result store.  [key] derives a candidate's
+   store key (see [Store.candidate_key]); the caller fixes the arch and
+   space digests so the engine never recomputes them per candidate. *)
+let attach_store t ~(store : Store.t) ~(key : Candidate.t -> string) : unit =
+  Mutex.protect t.lock (fun () ->
+      if t.store <> None then invalid_arg "Measure.attach_store: store already attached";
+      t.store <- Some { sb_store = store; sb_key = key })
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint journal                                                  *)
@@ -83,7 +107,7 @@ let create ~app_name () =
      gpuopt-journal v1
      app <application name>
      key <space key: digest of the candidate list>
-     ok <desc %S> <time %h>
+     ok <desc %S> <time, Hexfloat encoding>
      fault <desc %S> <Fault.to_journal encoding>
 
    Times round-trip exactly through the hexadecimal float format, so a
@@ -96,7 +120,7 @@ let journal_magic = "gpuopt-journal v1"
 
 let journal_entry desc (o : outcome) : string =
   match o with
-  | Ok time_s -> Printf.sprintf "ok %S %h" desc time_s
+  | Ok time_s -> Printf.sprintf "ok %S %s" desc (Hexfloat.to_string time_s)
   | Error f -> Printf.sprintf "fault %S %s" desc (Fault.to_journal f)
 
 let parse_entry (file : string) (lineno : int) (line : string) : string * outcome =
@@ -109,8 +133,15 @@ let parse_entry (file : string) (lineno : int) (line : string) : string * outcom
   | Some i -> (
     match String.sub line 0 i with
     | "ok" -> (
-      try Scanf.sscanf line "ok %S %h" (fun desc t -> (desc, Ok t))
-      with Scanf.Scan_failure _ | Failure _ | End_of_file -> bad "unparseable ok record")
+      match
+        try Some (Scanf.sscanf line "ok %S %s" (fun desc t -> (desc, t)))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      with
+      | None -> bad "unparseable ok record"
+      | Some (desc, t) -> (
+        match Hexfloat.of_string_opt t with
+        | Some time -> (desc, Ok time)
+        | None -> bad "unparseable ok record"))
     | "fault" -> (
       match
         try Some (Scanf.sscanf line "fault %S %n" (fun desc n -> (desc, n)))
@@ -247,12 +278,13 @@ let time_exn t (c : Candidate.t) : float =
 (* Bulk measurement                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Record one settled outcome under the lock: cache, bookkeeping, and
-   the journal (if attached).  When the journal budget is exhausted the
-   outcome is *discarded* — not cached, not journaled — and the engine
-   flips to interrupted, exactly as if the process had been killed
-   between two appends. *)
-let record t desc (o : outcome) (host_s : float) : unit =
+(* Record one settled outcome under the lock: cache, bookkeeping, the
+   journal and the result store (as attached).  When the journal budget
+   is exhausted the outcome is *discarded* — not cached, not journaled,
+   not stored — and the engine flips to interrupted, exactly as if the
+   process had been killed between two appends.  [store_key] is the
+   candidate's content address, computed by the worker off the lock. *)
+let record t desc ?(store_key : string option) (o : outcome) (host_s : float) : unit =
   Mutex.protect t.lock (fun () ->
       match t.journal with
       | Some j when j.j_interrupted -> ()
@@ -261,6 +293,9 @@ let record t desc (o : outcome) (host_s : float) : unit =
         Hashtbl.replace t.cache desc o;
         Hashtbl.replace t.host desc host_s;
         t.runs <- t.runs + 1;
+        (match (t.store, store_key) with
+        | Some sb, Some key -> Store.put sb.sb_store ~key ~desc o
+        | _ -> ());
         (match journal with
         | None -> ()
         | Some j ->
@@ -280,7 +315,15 @@ let interrupted t =
    input, in input order. *)
 let measure_outcomes ?jobs t (cands : Candidate.t list) : (Candidate.t * outcome) list =
   (* Decide what actually needs the simulator before spawning workers;
-     duplicates within one batch collapse to a single run. *)
+     duplicates within one batch collapse to a single run, and the
+     result store (when attached) settles candidates any client has
+     ever measured without touching the simulator. *)
+  let store_binding = Mutex.protect t.lock (fun () -> t.store) in
+  let from_store (c : Candidate.t) : outcome option =
+    match store_binding with
+    | None -> None
+    | Some sb -> Store.get sb.sb_store (sb.sb_key c)
+  in
   let to_run =
     Mutex.protect t.lock (fun () ->
         let batch = Hashtbl.create 16 in
@@ -290,10 +333,17 @@ let measure_outcomes ?jobs t (cands : Candidate.t list) : (Candidate.t * outcome
               t.hits <- t.hits + 1;
               false
             end
-            else begin
-              Hashtbl.replace batch c.desc ();
-              true
-            end)
+            else
+              match from_store c with
+              | Some o ->
+                Hashtbl.replace t.cache c.desc o;
+                t.hits <- t.hits + 1;
+                t.store_hits <- t.store_hits + 1;
+                false
+              | None ->
+                if store_binding <> None then t.store_misses <- t.store_misses + 1;
+                Hashtbl.replace batch c.desc ();
+                true)
           cands)
   in
   let results =
@@ -303,9 +353,12 @@ let measure_outcomes ?jobs t (cands : Candidate.t list) : (Candidate.t * outcome
            skip the simulator: their outcomes would be discarded. *)
         if interrupted t then ()
         else begin
+          (* The content address digests the candidate's PTX: compute it
+             on the worker, off the engine lock. *)
+          let store_key = Option.map (fun sb -> sb.sb_key c) store_binding in
           let t0 = Unix.gettimeofday () in
           let o = Fault.run_candidate c in
-          record t c.desc o (Unix.gettimeofday () -. t0)
+          record t c.desc ?store_key o (Unix.gettimeofday () -. t0)
         end)
       to_run
   in
@@ -337,6 +390,8 @@ let measure_all ?jobs t (cands : Candidate.t list) : measured list =
 (* Bookkeeping accessors. *)
 let runs t = Mutex.protect t.lock (fun () -> t.runs)
 let hits t = Mutex.protect t.lock (fun () -> t.hits)
+let store_hits t = Mutex.protect t.lock (fun () -> t.store_hits)
+let store_misses t = Mutex.protect t.lock (fun () -> t.store_misses)
 
 (* Total host wall-clock seconds spent inside [run] thunks.  Under
    parallel measurement this is the summed per-worker time, which can

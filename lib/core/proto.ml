@@ -1,0 +1,417 @@
+(* Wire protocol of the tuning service: framing and typed messages.
+
+   A connection carries a sequence of frames, each a 4-byte big-endian
+   unsigned length followed by that many bytes of JSON.  The module is
+   pure — framing works over strings and positions, messages encode to
+   and decode from JSON text — so every protocol property (round-trip,
+   rejection of truncated or oversized or garbage input) is unit-testable
+   without a socket, and the daemon's network loop reduces to "read
+   bytes, call a total function".
+
+   Decoding is total: any input produces either a message or a typed
+   error ([frame_error] / [decode_error]), never an exception.  That is
+   the daemon's first line of defense — a malicious or confused client
+   must not be able to crash or hang the server with bytes alone.
+
+   Floats (simulated seconds, reduction fractions) travel as
+   hexadecimal-float strings ("0x1.8p-3"), not JSON numbers: the store
+   and the bit-identical-replay guarantees need exact round-trips, and
+   decimal number printing is lossy.  [Hexfloat] spells the encoding —
+   %h for everything finite plus the infinities, raw IEEE bits for NaN
+   payloads ("nan#7ff8000000000001"). *)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Frames above this are rejected before any allocation: a stray or
+   hostile length prefix must not make the server allocate gigabytes. *)
+let default_max_frame = 16 * 1024 * 1024
+
+type frame_error =
+  | Oversized of { frame_len : int; max_len : int }
+  | Truncated of { have : int; want : int }
+      (* the stream ended inside a frame: [want] more bytes were due *)
+
+let frame_error_to_string = function
+  | Oversized { frame_len; max_len } ->
+    Printf.sprintf "oversized frame: %d bytes declared, limit %d" frame_len max_len
+  | Truncated { have; want } ->
+    Printf.sprintf "truncated frame: %d byte(s) present, %d more expected" have want
+
+let frame (payload : string) : string =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (n land 0xFF);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+(* Declared length of the frame starting at [pos]; needs 4 bytes. *)
+let frame_len (buf : string) ~(pos : int) : int =
+  (Char.code buf.[pos] lsl 24)
+  lor (Char.code buf.[pos + 1] lsl 16)
+  lor (Char.code buf.[pos + 2] lsl 8)
+  lor Char.code buf.[pos + 3]
+
+(* Examine [buf] from [pos]:
+   - [`Frame (payload, next)]: one complete frame; resume at [next];
+   - [`Need k]: the buffer ends cleanly but [k] more bytes are needed
+     to complete the frame in progress (k = 4 when no header has
+     started) — feed more input and retry;
+   - [`Error]: the declared length exceeds [max_len]; the stream is
+     unrecoverable from here. *)
+let peek_frame ?(max_len = default_max_frame) (buf : string) ~(pos : int) :
+    [ `Frame of string * int | `Need of int | `Error of frame_error ] =
+  let n = String.length buf in
+  if pos + 4 > n then `Need (pos + 4 - n)
+  else
+    let len = frame_len buf ~pos in
+    if len > max_len then `Error (Oversized { frame_len = len; max_len })
+    else if pos + 4 + len > n then `Need (pos + 4 + len - n)
+    else `Frame (String.sub buf (pos + 4) len, pos + 4 + len)
+
+(* [`Need k] describes an incomplete stream; a closed connection turns
+   it into the terminal [Truncated] error (or a clean end at k = 4 with
+   nothing buffered). *)
+let at_eof ~(pending : int) ~(need : int) : frame_error option =
+  if pending = 0 && need = 4 then None else Some (Truncated { have = pending; want = need })
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type scale = Quick | Bench | Full
+
+let scale_name = function Quick -> "quick" | Bench -> "bench" | Full -> "full"
+let scale_of_name = function
+  | "quick" -> Some Quick
+  | "bench" -> Some Bench
+  | "full" -> Some Full
+  | _ -> None
+
+type chaos_spec = { ch_seed : int; ch_count : int }
+
+type request =
+  | Ping
+  | Stats  (* server counters *)
+  | Shutdown
+  | Tune of { app : string; scale : scale }
+      (* the paper's methodology: measure only the Pareto subset *)
+  | Explore of { app : string; scale : scale; chaos : chaos_spec option }
+      (* exhaustive vs pruned sweep; [chaos] injects seeded faults *)
+  | Lint of { app : string; config : string option }
+
+(* One measurement, with the simulated seconds carried exactly. *)
+type measured_row = { m_desc : string; m_time_s : float }
+
+(* One per-candidate fault, in the journal encoding ([Fault.to_journal]).
+   Kept as a string at this layer so the protocol stays pure. *)
+type fault_row = { f_desc : string; f_fault : string }
+
+type tune_reply = {
+  t_app : string;
+  t_space_size : int;
+  t_chosen : measured_row;
+  t_selected : string list;  (* Pareto-selected descs, space order *)
+  t_runs : int;  (* simulator measurements this request paid for *)
+  t_store_hits : int;  (* measurements answered by the result store *)
+}
+
+type explore_reply = {
+  x_app : string;
+  x_space_size : int;
+  x_invalid : int;
+  x_best : measured_row;
+  x_selected_best : measured_row;
+  x_selected : string list;
+  x_exhaustive : measured_row list;  (* every survivor, space order *)
+  x_reduction : float;
+  x_optimum_selected : bool;
+  x_faults : fault_row list;
+  x_runs : int;
+  x_store_hits : int;
+}
+
+type server_stats = {
+  sv_requests : int;  (* requests handled, this process *)
+  sv_errors : int;  (* requests answered with an error *)
+  sv_runs : int;  (* simulator measurements performed *)
+  sv_store_hits : int;  (* measurements answered by the store *)
+  sv_store_misses : int;  (* store-backed measurements that had to run *)
+  sv_store_entries : int;  (* entries resident in the store *)
+}
+
+type error_code =
+  | Unknown_app
+  | Bad_request  (* well-formed protocol, unsatisfiable content *)
+  | Protocol_error  (* unparseable frame or message *)
+  | Server_error  (* the handler itself failed *)
+
+let error_code_name = function
+  | Unknown_app -> "unknown-app"
+  | Bad_request -> "bad-request"
+  | Protocol_error -> "protocol-error"
+  | Server_error -> "server-error"
+
+let error_code_of_name = function
+  | "unknown-app" -> Some Unknown_app
+  | "bad-request" -> Some Bad_request
+  | "protocol-error" -> Some Protocol_error
+  | "server-error" -> Some Server_error
+  | _ -> None
+
+type response =
+  | Pong
+  | Bye  (* shutdown acknowledged *)
+  | Stats_r of server_stats
+  | Tune_r of tune_reply
+  | Explore_r of explore_reply
+  | Lint_r of { l_report : string; l_errors : bool }
+  | Error_r of { e_code : error_code; e_msg : string }
+
+type decode_error =
+  | Bad_json of string  (* not JSON at all *)
+  | Bad_message of string  (* JSON of the wrong shape *)
+
+let decode_error_to_string = function
+  | Bad_json msg -> "bad JSON: " ^ msg
+  | Bad_message msg -> "bad message: " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let jfloat (f : float) : Util.Json.t = Str (Hexfloat.to_string f)
+let jrow (r : measured_row) : Util.Json.t =
+  Obj [ ("desc", Str r.m_desc); ("time", jfloat r.m_time_s) ]
+let jfault (r : fault_row) : Util.Json.t =
+  Obj [ ("desc", Str r.f_desc); ("fault", Str r.f_fault) ]
+
+let encode_request (r : request) : string =
+  let open Util.Json in
+  let v =
+    match r with
+    | Ping -> Obj [ ("type", Str "ping") ]
+    | Stats -> Obj [ ("type", Str "stats") ]
+    | Shutdown -> Obj [ ("type", Str "shutdown") ]
+    | Tune { app; scale } ->
+      Obj [ ("type", Str "tune"); ("app", Str app); ("scale", Str (scale_name scale)) ]
+    | Explore { app; scale; chaos } ->
+      Obj
+        ([ ("type", Str "explore"); ("app", Str app); ("scale", Str (scale_name scale)) ]
+        @
+        match chaos with
+        | None -> []
+        | Some { ch_seed; ch_count } ->
+          [ ("chaos", Obj [ ("seed", Int ch_seed); ("count", Int ch_count) ]) ])
+    | Lint { app; config } ->
+      Obj
+        ([ ("type", Str "lint"); ("app", Str app) ]
+        @ match config with None -> [] | Some c -> [ ("config", Str c) ])
+  in
+  to_string v
+
+let encode_response (r : response) : string =
+  let open Util.Json in
+  let v =
+    match r with
+    | Pong -> Obj [ ("type", Str "pong") ]
+    | Bye -> Obj [ ("type", Str "bye") ]
+    | Stats_r s ->
+      Obj
+        [
+          ("type", Str "stats");
+          ("requests", Int s.sv_requests);
+          ("errors", Int s.sv_errors);
+          ("runs", Int s.sv_runs);
+          ("store_hits", Int s.sv_store_hits);
+          ("store_misses", Int s.sv_store_misses);
+          ("store_entries", Int s.sv_store_entries);
+        ]
+    | Tune_r t ->
+      Obj
+        [
+          ("type", Str "tune");
+          ("app", Str t.t_app);
+          ("space_size", Int t.t_space_size);
+          ("chosen", jrow t.t_chosen);
+          ("selected", List (List.map (fun d -> Str d) t.t_selected));
+          ("runs", Int t.t_runs);
+          ("store_hits", Int t.t_store_hits);
+        ]
+    | Explore_r x ->
+      Obj
+        [
+          ("type", Str "explore");
+          ("app", Str x.x_app);
+          ("space_size", Int x.x_space_size);
+          ("invalid", Int x.x_invalid);
+          ("best", jrow x.x_best);
+          ("selected_best", jrow x.x_selected_best);
+          ("selected", List (List.map (fun d -> Str d) x.x_selected));
+          ("exhaustive", List (List.map jrow x.x_exhaustive));
+          ("reduction", jfloat x.x_reduction);
+          ("optimum_selected", Bool x.x_optimum_selected);
+          ("faults", List (List.map jfault x.x_faults));
+          ("runs", Int x.x_runs);
+          ("store_hits", Int x.x_store_hits);
+        ]
+    | Lint_r { l_report; l_errors } ->
+      Obj [ ("type", Str "lint"); ("report", Str l_report); ("errors", Bool l_errors) ]
+    | Error_r { e_code; e_msg } ->
+      Obj [ ("type", Str "error"); ("code", Str (error_code_name e_code)); ("msg", Str e_msg) ]
+  in
+  to_string v
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Shape of string
+
+let shape fmt = Printf.ksprintf (fun msg -> raise (Shape msg)) fmt
+
+let str_field (v : Util.Json.t) (k : string) : string =
+  match Util.Json.member k v with
+  | Some (Str s) -> s
+  | Some _ -> shape "field %S is not a string" k
+  | None -> shape "missing field %S" k
+
+let int_field (v : Util.Json.t) (k : string) : int =
+  match Util.Json.member k v with
+  | Some (Int i) -> i
+  | Some _ -> shape "field %S is not an integer" k
+  | None -> shape "missing field %S" k
+
+let bool_field (v : Util.Json.t) (k : string) : bool =
+  match Util.Json.member k v with
+  | Some (Bool b) -> b
+  | Some _ -> shape "field %S is not a boolean" k
+  | None -> shape "missing field %S" k
+
+let float_field (v : Util.Json.t) (k : string) : float =
+  match Util.Json.member k v with
+  | Some (Str s) -> (
+    match Hexfloat.of_string_opt s with
+    | Some f -> f
+    | None -> shape "field %S is not a hexadecimal float" k)
+  | Some _ -> shape "field %S is not a float-carrying string" k
+  | None -> shape "missing field %S" k
+
+let list_field (v : Util.Json.t) (k : string) : Util.Json.t list =
+  match Util.Json.member k v with
+  | Some (List l) -> l
+  | Some _ -> shape "field %S is not an array" k
+  | None -> shape "missing field %S" k
+
+let scale_field (v : Util.Json.t) : scale =
+  let s = str_field v "scale" in
+  match scale_of_name s with Some sc -> sc | None -> shape "unknown scale %S" s
+
+let row_of (v : Util.Json.t) : measured_row =
+  { m_desc = str_field v "desc"; m_time_s = float_field v "time" }
+
+let fault_of (v : Util.Json.t) : fault_row =
+  { f_desc = str_field v "desc"; f_fault = str_field v "fault" }
+
+let str_item = function
+  | Util.Json.Str s -> s
+  | _ -> shape "array item is not a string"
+
+let decode (what : string) (of_json : Util.Json.t -> 'a) (text : string) :
+    ('a, decode_error) result =
+  match Util.Json.of_string text with
+  | Error msg -> Error (Bad_json msg)
+  | Ok v -> (
+    match of_json v with
+    | m -> Ok m
+    | exception Shape msg -> Error (Bad_message (what ^ ": " ^ msg)))
+
+let request_of_json (v : Util.Json.t) : request =
+  match str_field v "type" with
+  | "ping" -> Ping
+  | "stats" -> Stats
+  | "shutdown" -> Shutdown
+  | "tune" -> Tune { app = str_field v "app"; scale = scale_field v }
+  | "explore" ->
+    let chaos =
+      match Util.Json.member "chaos" v with
+      | None -> None
+      | Some c -> Some { ch_seed = int_field c "seed"; ch_count = int_field c "count" }
+    in
+    Explore { app = str_field v "app"; scale = scale_field v; chaos }
+  | "lint" ->
+    let config =
+      match Util.Json.member "config" v with
+      | None -> None
+      | Some (Str s) -> Some s
+      | Some _ -> shape "field \"config\" is not a string"
+    in
+    Lint { app = str_field v "app"; config }
+  | t -> shape "unknown request type %S" t
+
+let response_of_json (v : Util.Json.t) : response =
+  match str_field v "type" with
+  | "pong" -> Pong
+  | "bye" -> Bye
+  | "stats" ->
+    Stats_r
+      {
+        sv_requests = int_field v "requests";
+        sv_errors = int_field v "errors";
+        sv_runs = int_field v "runs";
+        sv_store_hits = int_field v "store_hits";
+        sv_store_misses = int_field v "store_misses";
+        sv_store_entries = int_field v "store_entries";
+      }
+  | "tune" ->
+    let chosen =
+      match Util.Json.member "chosen" v with
+      | Some c -> row_of c
+      | None -> shape "missing field \"chosen\""
+    in
+    Tune_r
+      {
+        t_app = str_field v "app";
+        t_space_size = int_field v "space_size";
+        t_chosen = chosen;
+        t_selected = List.map str_item (list_field v "selected");
+        t_runs = int_field v "runs";
+        t_store_hits = int_field v "store_hits";
+      }
+  | "explore" ->
+    let sub k =
+      match Util.Json.member k v with Some c -> row_of c | None -> shape "missing field %S" k
+    in
+    Explore_r
+      {
+        x_app = str_field v "app";
+        x_space_size = int_field v "space_size";
+        x_invalid = int_field v "invalid";
+        x_best = sub "best";
+        x_selected_best = sub "selected_best";
+        x_selected = List.map str_item (list_field v "selected");
+        x_exhaustive = List.map row_of (list_field v "exhaustive");
+        x_reduction = float_field v "reduction";
+        x_optimum_selected = bool_field v "optimum_selected";
+        x_faults = List.map fault_of (list_field v "faults");
+        x_runs = int_field v "runs";
+        x_store_hits = int_field v "store_hits";
+      }
+  | "lint" -> Lint_r { l_report = str_field v "report"; l_errors = bool_field v "errors" }
+  | "error" ->
+    let code_s = str_field v "code" in
+    let e_code =
+      match error_code_of_name code_s with
+      | Some c -> c
+      | None -> shape "unknown error code %S" code_s
+    in
+    Error_r { e_code; e_msg = str_field v "msg" }
+  | t -> shape "unknown response type %S" t
+
+let decode_request : string -> (request, decode_error) result = decode "request" request_of_json
+let decode_response : string -> (response, decode_error) result =
+  decode "response" response_of_json

@@ -29,6 +29,8 @@ type engine_stats = {
   measure_host_s : float;  (* summed host seconds inside [run] thunks *)
   sim_launches : int;  (* simulator launches during the search *)
   sim_warp_instrs : int;  (* warp instructions those launches issued *)
+  store_hits : int;  (* answered from the content-addressed store *)
+  store_misses : int;  (* store consulted but had to simulate *)
 }
 
 type result = {
@@ -66,6 +68,35 @@ let space_key ~(app_name : string) (cands : Candidate.t list) : string =
   in
   Digest.to_hex (Digest.string (String.concat "\n" (app_name :: descs)))
 
+(* Bind a content-addressed result store to a measurement engine.  The
+   key function defaults to [Store.candidate_key] over the current
+   architecture and this candidate space ([store_scale] tags the
+   problem scale — quick and paper-scale spaces share descs but not
+   simulated times, see [Store.space_digest]).  Callers that issue many
+   sweeps over the same space (the serve daemon) pass a memoized
+   [store_key] instead, so the space digest is not recomputed per
+   request. *)
+let bind_store engine ~(app_name : string) (cands : Candidate.t list) ~store ~store_key
+    ~store_scale : unit =
+  match store with
+  | None -> ()
+  | Some st ->
+    let key =
+      match store_key with
+      | Some k -> k
+      | None ->
+        let arch = Store.arch_digest () in
+        let scale = Option.value store_scale ~default:"full" in
+        let descs =
+          List.filter_map
+            (fun (c : Candidate.t) -> if c.valid then Some c.desc else None)
+            cands
+        in
+        let space = Store.space_digest ~app_name ~scale descs in
+        fun c -> Store.candidate_key ~arch ~space c
+    in
+    Measure.attach_store engine ~store:st ~key
+
 (* [?jobs] is the number of measurement worker domains (default: the
    GPUOPT_JOBS environment variable, else cores - 1, min 1 — see
    [Util.Pool.default_jobs]).  The result is identical for every value
@@ -77,14 +108,20 @@ let space_key ~(app_name : string) (cands : Candidate.t list) : string =
    (same app, same space) skips them.  [?checkpoint_budget] bounds how
    many new outcomes may be journaled before the sweep aborts with
    [Measure.Interrupted] — the deterministic stand-in for killing a
-   long sweep, used by the resume tests and `gpuopt chaos`. *)
-let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ~(app_name : string)
-    (cands : Candidate.t list) : result =
+   long sweep, used by the resume tests and `gpuopt chaos`.
+
+   [?store] attaches the persistent content-addressed store: points it
+   already holds are answered without the simulator, and new
+   measurements are appended for every later client (see [bind_store]
+   for [?store_key] / [?store_scale]). *)
+let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ?store ?store_key
+    ?store_scale ~(app_name : string) (cands : Candidate.t list) : result =
   let valid, invalid = List.partition (fun (c : Candidate.t) -> c.valid) cands in
   if valid = [] then invalid_arg (app_name ^ ": no valid configuration in the space");
   let all = List.map (fun c -> (c, Metrics.of_candidate c)) valid in
   let wi0 = Gpu.Sim.warp_instrs_issued () and launches0 = Gpu.Sim.sim_runs () in
   let engine = Measure.create ~app_name () in
+  bind_store engine ~app_name cands ~store ~store_key ~store_scale;
   (match checkpoint with
   | None -> ()
   | Some file ->
@@ -185,22 +222,33 @@ let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ~(app_name : s
             measure_host_s = Measure.host_time engine;
             sim_launches = Gpu.Sim.sim_runs () - launches0;
             sim_warp_instrs = Gpu.Sim.warp_instrs_issued () - wi0;
+            store_hits = Measure.store_hits engine;
+            store_misses = Measure.store_misses engine;
           };
       })
 
 (* Pruned-only search: what a user of the methodology actually runs —
    compile + metrics for the whole space, measurement only for the
-   Pareto subset.  Returns the chosen configuration (faulted subset
-   members are skipped; the choice is over the survivors). *)
-let tune ?jobs ~(app_name : string) (cands : Candidate.t list) :
-    measured * (Candidate.t * Metrics.t) list =
+   Pareto subset.  The chosen configuration skips faulted subset
+   members (the choice is over the survivors). *)
+type tuned = {
+  chosen : measured;  (* fastest surviving Pareto-selected config *)
+  considered : (Candidate.t * Metrics.t) list;  (* the Pareto subset *)
+  tune_space_size : int;  (* valid configurations in the space *)
+  tune_engine : engine_stats;
+}
+
+let tune_full ?jobs ?store ?store_key ?store_scale ~(app_name : string)
+    (cands : Candidate.t list) : tuned =
   let valid = List.filter (fun (c : Candidate.t) -> c.valid) cands in
   if valid = [] then invalid_arg (app_name ^ ": no valid configuration in the space");
   let all = List.map (fun c -> (c, Metrics.of_candidate c)) valid in
   let selected =
     Pareto.frontier_quantized (fun (_, m) -> Metrics.(m.efficiency, m.utilization)) all
   in
+  let wi0 = Gpu.Sim.warp_instrs_issued () and launches0 = Gpu.Sim.sim_runs () in
   let engine = Measure.create ~app_name () in
+  bind_store engine ~app_name cands ~store ~store_key ~store_scale;
   let outcomes = Measure.measure_outcomes ?jobs engine (List.map fst selected) in
   let measured =
     List.filter_map
@@ -209,5 +257,25 @@ let tune ?jobs ~(app_name : string) (cands : Candidate.t list) :
       outcomes
   in
   match Util.Stats.argmin (fun m -> m.time_s) measured with
-  | Some best -> (best, selected)
+  | Some best ->
+    {
+      chosen = best;
+      considered = selected;
+      tune_space_size = List.length valid;
+      tune_engine =
+        {
+          measure_runs = Measure.runs engine;
+          measure_hits = Measure.hits engine;
+          measure_host_s = Measure.host_time engine;
+          sim_launches = Gpu.Sim.sim_runs () - launches0;
+          sim_warp_instrs = Gpu.Sim.warp_instrs_issued () - wi0;
+          store_hits = Measure.store_hits engine;
+          store_misses = Measure.store_misses engine;
+        };
+    }
   | None -> invalid_arg (app_name ^ ": every selected configuration faulted")
+
+let tune ?jobs ~(app_name : string) (cands : Candidate.t list) :
+    measured * (Candidate.t * Metrics.t) list =
+  let r = tune_full ?jobs ~app_name cands in
+  (r.chosen, r.considered)

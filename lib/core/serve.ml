@@ -1,0 +1,396 @@
+(* The tuning service: a long-running daemon that answers tune / explore
+   / lint requests over the [Proto] wire protocol, backed by the
+   content-addressed result store ([Store]).
+
+   The paper's premise is that exhaustive measurement is too expensive
+   to repeat; the daemon makes that operational.  Every measurement a
+   request triggers lands in the store, so any client asking about the
+   same (kernel x space x arch) point — in this process or the next —
+   is answered from disk.  A warm request over an already-measured
+   space touches the simulator zero times.
+
+   Layering.  This module knows nothing about the concrete applications:
+   a [resolver], built by the binary from [Apps.Registry], maps an
+   (app, scale) pair to its candidate list and a memoized store-key
+   function.  Everything below the resolver is the existing machinery —
+   [Search] for the sweeps, [Measure] (with the store bound) for
+   memoized parallel measurement over [Util.Pool] domains, [Chaos] for
+   fault injection, [Fault] for the taxonomy.
+
+   Batching and sharding.  Connections are accepted by a select loop
+   and fanned out to a small pool of connection-worker domains; each
+   request's measurements are then sharded across [Util.Pool] worker
+   domains by [Measure.measure_outcomes] exactly as in the CLI, with
+   duplicate candidates collapsed per batch and already-known points
+   answered from the store before any worker spawns (a fully warm batch
+   costs no domain at all, see [Util.Pool.map_result]).
+
+   Chaos-flagged requests deliberately BYPASS the store: an injected
+   fault is a property of the injection, not of the candidate, and
+   recording it under the candidate's content address would poison
+   every later honest request ("store poisoning").
+
+   Robustness: [handle_frame] is total.  Unparseable frames and
+   malformed messages produce [Error_r Protocol_error]; unknown apps
+   and unsatisfiable parameters produce typed errors; a handler crash
+   is caught and answered as [Server_error].  No input bytes can take
+   the daemon down. *)
+
+(* ------------------------------------------------------------------ *)
+(* Resolver: the daemon's view of the application registry             *)
+(* ------------------------------------------------------------------ *)
+
+type resolved_space = {
+  sp_cands : Candidate.t list;
+  sp_store_key : Candidate.t -> string;
+      (* memoized content address for this (app, scale, arch) space, so
+         a request does not re-render PTX to digest the space *)
+}
+
+type resolver = {
+  rv_apps : string list;  (* known application names, for error text *)
+  rv_space :
+    app:string -> scale:Proto.scale -> (resolved_space, Proto.error_code * string) result;
+  rv_lint :
+    app:string -> config:string option -> (string * bool, Proto.error_code * string) result;
+      (* lint report text and whether it contains errors *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  store : Store.t;
+  resolver : resolver;
+  jobs : int option;  (* measurement worker domains per request *)
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable errors : int;
+  mutable runs : int;  (* simulator measurements performed *)
+  mutable store_hits : int;
+  mutable store_misses : int;
+  mutable stop : bool;  (* set by a Shutdown request *)
+}
+
+let create ?jobs ~(store : Store.t) (resolver : resolver) : t =
+  {
+    store;
+    resolver;
+    jobs;
+    lock = Mutex.create ();
+    requests = 0;
+    errors = 0;
+    runs = 0;
+    store_hits = 0;
+    store_misses = 0;
+    stop = false;
+  }
+
+let stopping t = Mutex.protect t.lock (fun () -> t.stop)
+let request_stop t = Mutex.protect t.lock (fun () -> t.stop <- true)
+
+let note_engine t (e : Search.engine_stats) : unit =
+  Mutex.protect t.lock (fun () ->
+      t.runs <- t.runs + e.measure_runs;
+      t.store_hits <- t.store_hits + e.store_hits;
+      t.store_misses <- t.store_misses + e.store_misses)
+
+let stats t : Proto.server_stats =
+  let entries = Store.entries t.store in
+  Mutex.protect t.lock (fun () ->
+      {
+        Proto.sv_requests = t.requests;
+        sv_errors = t.errors;
+        sv_runs = t.runs;
+        sv_store_hits = t.store_hits;
+        sv_store_misses = t.store_misses;
+        sv_store_entries = entries;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let row_of_measured (m : Search.measured) : Proto.measured_row =
+  { Proto.m_desc = m.cand.desc; m_time_s = m.time_s }
+
+let descs_of sel = List.map (fun ((c : Candidate.t), _) -> c.desc) sel
+
+let handle_tune t ~app ~scale : Proto.response =
+  match t.resolver.rv_space ~app ~scale with
+  | Error (e_code, e_msg) -> Error_r { e_code; e_msg }
+  | Ok sp ->
+    let r =
+      Search.tune_full ?jobs:t.jobs ~store:t.store ~store_key:sp.sp_store_key ~app_name:app
+        sp.sp_cands
+    in
+    note_engine t r.tune_engine;
+    Tune_r
+      {
+        t_app = app;
+        t_space_size = r.tune_space_size;
+        t_chosen = row_of_measured r.chosen;
+        t_selected = descs_of r.considered;
+        t_runs = r.tune_engine.measure_runs;
+        t_store_hits = r.tune_engine.store_hits;
+      }
+
+let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) : Proto.response =
+  match t.resolver.rv_space ~app ~scale with
+  | Error (e_code, e_msg) -> Error_r { e_code; e_msg }
+  | Ok sp ->
+    let r =
+      match chaos with
+      | None ->
+        Search.run ?jobs:t.jobs ~store:t.store ~store_key:sp.sp_store_key ~app_name:app
+          sp.sp_cands
+      | Some { ch_seed; ch_count } ->
+        (* Injected faults are synthetic: measuring them through the
+           store would record them under healthy candidates' content
+           addresses.  Chaos sweeps therefore run store-less. *)
+        let cands, _injections = Chaos.inject ~seed:ch_seed ~count:ch_count sp.sp_cands in
+        Search.run ?jobs:t.jobs ~app_name:app cands
+    in
+    note_engine t r.engine;
+    Explore_r
+      {
+        x_app = app;
+        x_space_size = r.space_size;
+        x_invalid = r.invalid;
+        x_best = row_of_measured r.best;
+        x_selected_best = row_of_measured r.selected_best;
+        x_selected = descs_of r.selected;
+        x_exhaustive = List.map row_of_measured r.exhaustive;
+        x_reduction = r.reduction;
+        x_optimum_selected = r.optimum_selected;
+        x_faults =
+          List.map
+            (fun ((c : Candidate.t), f) ->
+              { Proto.f_desc = c.desc; f_fault = Fault.to_journal f })
+            r.faults;
+        x_runs = r.engine.measure_runs;
+        x_store_hits = r.engine.store_hits;
+      }
+
+(* Dispatch one decoded request.  Total: anything the machinery throws
+   settles as a typed error response. *)
+let handle t (req : Proto.request) : Proto.response =
+  Mutex.protect t.lock (fun () -> t.requests <- t.requests + 1);
+  let resp =
+    try
+      match req with
+      | Proto.Ping -> Proto.Pong
+      | Proto.Stats -> Stats_r (stats t)
+      | Proto.Shutdown ->
+        request_stop t;
+        Bye
+      | Proto.Tune { app; scale } -> handle_tune t ~app ~scale
+      | Proto.Explore { app; scale; chaos } -> handle_explore t ~app ~scale ~chaos
+      | Proto.Lint { app; config } -> (
+        match t.resolver.rv_lint ~app ~config with
+        | Ok (l_report, l_errors) -> Lint_r { l_report; l_errors }
+        | Error (e_code, e_msg) -> Error_r { e_code; e_msg })
+    with
+    | Invalid_argument msg -> Error_r { e_code = Bad_request; e_msg = msg }
+    | e -> Error_r { e_code = Server_error; e_msg = Printexc.to_string e }
+  in
+  (match resp with
+  | Error_r _ -> Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1)
+  | _ -> ());
+  resp
+
+(* One frame in, one frame payload out — the seam the protocol tests
+   drive without a socket. *)
+let handle_frame t (payload : string) : string =
+  match Proto.decode_request payload with
+  | Ok req -> Proto.encode_response (handle t req)
+  | Error de ->
+    Mutex.protect t.lock (fun () ->
+        t.requests <- t.requests + 1;
+        t.errors <- t.errors + 1);
+    Proto.encode_response
+      (Error_r { e_code = Protocol_error; e_msg = Proto.decode_error_to_string de })
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd (s : string) pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let send_frame fd (payload : string) : unit =
+  let f = Proto.frame payload in
+  write_all fd f 0 (String.length f)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Serve one connection until the peer closes it (or poisons the
+   stream).  Frames are answered in order; an oversized length prefix
+   is unrecoverable — the offset of the next frame is unknowable — so
+   it draws one final protocol error and the connection drops. *)
+let serve_connection t fd : unit =
+  let chunk = Bytes.create 65536 in
+  let buf = ref "" in
+  let closed = ref false in
+  while not !closed do
+    match Proto.peek_frame !buf ~pos:0 with
+    | `Frame (payload, next) ->
+      buf := String.sub !buf next (String.length !buf - next);
+      let reply = handle_frame t payload in
+      (try send_frame fd reply with Unix.Unix_error _ -> closed := true)
+    | `Error fe ->
+      Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1);
+      (try
+         send_frame fd
+           (Proto.encode_response
+              (Error_r { e_code = Protocol_error; e_msg = Proto.frame_error_to_string fe }))
+       with Unix.Unix_error _ -> ());
+      closed := true
+    | `Need _ -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> closed := true  (* EOF; a truncated tail has no one to answer *)
+      | n -> buf := !buf ^ Bytes.sub_string chunk 0 n
+      | exception Unix.Unix_error _ -> closed := true)
+  done;
+  close_quietly fd
+
+(* Accept loop: bind a Unix-domain socket, fan connections out to
+   [conn_workers] domains, stop when a Shutdown request flips the flag
+   (checked every [poll_s] via select timeout).  Returns once every
+   worker has drained. *)
+let listen ?(conn_workers = 4) ?(backlog = 64) ?(poll_s = 0.2) t ~(socket : string) () : unit
+    =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX socket);
+  Unix.listen sock backlog;
+  let q : Unix.file_descr Queue.t = Queue.create () in
+  let qlock = Mutex.create () in
+  let qcond = Condition.create () in
+  (* Next connection to serve; None once the stop flag is up and the
+     queue has drained. *)
+  let pop () : Unix.file_descr option =
+    Mutex.lock qlock;
+    let rec wait () =
+      if not (Queue.is_empty q) then begin
+        let fd = Queue.pop q in
+        Mutex.unlock qlock;
+        Some fd
+      end
+      else if stopping t then begin
+        Mutex.unlock qlock;
+        None
+      end
+      else begin
+        Condition.wait qcond qlock;
+        wait ()
+      end
+    in
+    wait ()
+  in
+  let workers =
+    List.init (max 1 conn_workers) (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match pop () with
+              | None -> ()
+              | Some fd ->
+                serve_connection t fd;
+                loop ()
+            in
+            loop ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock qlock;
+      Condition.broadcast qcond;
+      Mutex.unlock qlock;
+      List.iter Domain.join workers;
+      close_quietly sock;
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+    (fun () ->
+      while not (stopping t) do
+        match Unix.select [ sock ] [] [] poll_s with
+        | [], _, _ -> ()
+        | _ -> (
+          match Unix.accept sock with
+          | fd, _ ->
+            Mutex.lock qlock;
+            Queue.push fd q;
+            Condition.signal qcond;
+            Mutex.unlock qlock
+          | exception Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let connect ~(socket : string) : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     close_quietly fd;
+     raise e);
+  fd
+
+let read_frame fd : (string, string) result =
+  let chunk = Bytes.create 65536 in
+  let rec loop buf =
+    match Proto.peek_frame buf ~pos:0 with
+    | `Frame (payload, _) -> Ok payload
+    | `Error fe -> Error (Proto.frame_error_to_string fe)
+    | `Need need -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> (
+        match Proto.at_eof ~pending:(String.length buf) ~need with
+        | Some fe -> Error (Proto.frame_error_to_string fe)
+        | None -> Error "connection closed before any reply")
+      | n -> loop (buf ^ Bytes.sub_string chunk 0 n))
+  in
+  loop ""
+
+(* One request/response exchange on an open connection. *)
+let rpc fd (req : Proto.request) : (Proto.response, string) result =
+  match send_frame fd (Proto.encode_request req) with
+  | exception Unix.Unix_error (e, _, _) -> Error ("send: " ^ Unix.error_message e)
+  | () -> (
+    match read_frame fd with
+    | Error _ as e -> e
+    | Ok payload -> (
+      match Proto.decode_response payload with
+      | Ok r -> Ok r
+      | Error de -> Error (Proto.decode_error_to_string de)))
+
+let with_client ~(socket : string) (f : Unix.file_descr -> 'a) : 'a =
+  let fd = connect ~socket in
+  Fun.protect ~finally:(fun () -> close_quietly fd) (fun () -> f fd)
+
+(* Connect, exchange one message, disconnect.  Connection failures
+   settle as [Error] — callers polling a daemon that is still coming up
+   rely on this. *)
+let call ~(socket : string) (req : Proto.request) : (Proto.response, string) result =
+  match with_client ~socket (fun fd -> rpc fd req) with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) -> Error ("connect: " ^ Unix.error_message e)
+
+(* Poll until the daemon answers a ping (bounded); used by everything
+   that forks a server and must not race its bind. *)
+let wait_ready ?(timeout_s = 10.0) ~(socket : string) () : bool =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec loop () =
+    match call ~socket Proto.Ping with
+    | Ok Proto.Pong -> true
+    | _ ->
+      if Unix.gettimeofday () >= deadline then false
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        loop ()
+      end
+  in
+  loop ()

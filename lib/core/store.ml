@@ -1,0 +1,271 @@
+(* Persistent content-addressed measurement store.
+
+   The paper's premise is that exhaustively measuring an optimization
+   space is too expensive to repeat; PR 5's checkpoint journal let one
+   interrupted sweep resume, and this module generalizes it into the
+   tuning service's shared cache: any measurement performed once — by
+   any client, in any session — is answered from disk forever after.
+
+   Content addressing.  An entry's key is a digest of everything that
+   determines the simulated time:
+
+     key = md5( arch digest | space digest | kernel digest )
+
+   - the *arch digest* fixes the machine model (every limit and latency
+     of [Gpu.Arch] the simulator consumes);
+   - the *space digest* fixes the measurement problem: application,
+     problem scale, and the full candidate-desc list (two scales of the
+     same app share descs but not times, so the scale tag is part of
+     the digest);
+   - the *kernel digest* fixes the candidate itself: its compiled PTX
+     text, its launch geometry and its config key.
+
+   Change any of the three and the key changes, so a store can hold
+   entries for many apps, scales and architectures side by side without
+   any possibility of cross-talk.
+
+   Durability.  The file is append-only: one header line, then one
+   record per settled measurement, each carrying an md5 checksum of its
+   payload.  Appends go through a single [output_string] + flush under
+   the store lock, so concurrent writers from any number of domains
+   interleave whole records.  On load, a record whose checksum or
+   payload fails to parse is *rejected loudly and skipped* — corruption
+   costs re-measuring the damaged entries, never a wrong answer and
+   never the rest of the store.  Times round-trip exactly through the
+   %h hexadecimal float format, as in the PR-5 journals. *)
+
+type outcome = (float, Fault.t) result
+
+let magic = "gpuopt-store v1"
+
+(* ------------------------------------------------------------------ *)
+(* Digests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let hex (s : string) : string = Digest.to_hex (Digest.string s)
+
+(* Everything the simulator's timing model reads from the machine
+   description, in a fixed order.  Two processes disagreeing on any of
+   these must not share measurements. *)
+let arch_digest ?(limits = Gpu.Arch.g80) () : string =
+  let l = limits and lat = Gpu.Arch.g80_latencies in
+  hex
+    (String.concat ","
+       [
+         "arch";
+         string_of_int l.num_sms;
+         string_of_int l.max_threads_per_sm;
+         string_of_int l.max_blocks_per_sm;
+         string_of_int l.regs_per_sm;
+         string_of_int l.smem_per_sm;
+         string_of_int l.max_threads_per_block;
+         string_of_int Gpu.Arch.shared_banks;
+         Printf.sprintf "%h" Gpu.Arch.clock_ghz;
+         Printf.sprintf "%h" Gpu.Arch.global_bandwidth_gbs;
+         string_of_int lat.issue;
+         string_of_int lat.alu;
+         string_of_int lat.sfu;
+         string_of_int lat.sfu_issue;
+         string_of_int lat.shared;
+         string_of_int lat.global;
+         string_of_int lat.coalesced_tx;
+         string_of_int Gpu.Arch.scoreboard_depth;
+       ])
+
+(* The measurement problem: which app, at which problem scale, over
+   which candidate set.  [scale] distinguishes e.g. the quick and the
+   paper-scale matmul spaces, whose descs coincide but whose simulated
+   times do not. *)
+let space_digest ~(app_name : string) ~(scale : string) (descs : string list) : string =
+  hex (String.concat "\n" ("space" :: app_name :: scale :: descs))
+
+(* The candidate itself: compiled code plus launch geometry.  The PTX
+   text pins every instruction the simulator will execute; the thread
+   counts pin the grid the run thunk launches. *)
+let kernel_digest (c : Candidate.t) : string =
+  hex
+    (String.concat "\n"
+       [
+         "kernel";
+         c.desc;
+         string_of_int c.threads_per_block;
+         string_of_int c.threads_total;
+         Ptx.Pp.kernel c.kernel;
+       ])
+
+let key ~(arch : string) ~(space : string) ~(kernel : string) : string =
+  hex (String.concat "|" [ arch; space; kernel ])
+
+let candidate_key ~(arch : string) ~(space : string) (c : Candidate.t) : string =
+  key ~arch ~space ~kernel:(kernel_digest c)
+
+(* ------------------------------------------------------------------ *)
+(* Record payloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Payload format (everything after the key and the checksum):
+     ok <desc %S> <time, Hexfloat encoding>
+     fault <desc %S> <Fault.to_journal>
+   The desc is carried for human inspection of the store file; the key
+   alone addresses the entry. *)
+
+let payload_of (desc : string) (o : outcome) : string =
+  match o with
+  | Ok time_s -> Printf.sprintf "ok %S %s" desc (Hexfloat.to_string time_s)
+  | Error f -> Printf.sprintf "fault %S %s" desc (Fault.to_journal f)
+
+let payload_to (payload : string) : (string * outcome) option =
+  match String.index_opt payload ' ' with
+  | None -> None
+  | Some i -> (
+    match String.sub payload 0 i with
+    | "ok" -> (
+      match
+        try Some (Scanf.sscanf payload "ok %S %s" (fun desc t -> (desc, t)))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      with
+      | None -> None
+      | Some (desc, t) -> (
+        match Hexfloat.of_string_opt t with
+        | Some time -> Some (desc, Ok time)
+        | None -> None))
+    | "fault" -> (
+      match
+        try Some (Scanf.sscanf payload "fault %S %n" (fun desc n -> (desc, n)))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      with
+      | None -> None
+      | Some (desc, ofs) -> (
+        let rest = String.sub payload ofs (String.length payload - ofs) in
+        match Fault.of_journal rest with Some f -> Some (desc, Error f) | None -> None))
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* The store                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type corrupt_line = { cl_line : int; cl_reason : string }
+
+type t = {
+  file : string;
+  lock : Mutex.t;  (* guards every mutable field and the channel *)
+  index : (string, string * outcome) Hashtbl.t;  (* key -> (desc, outcome) *)
+  mutable oc : out_channel option;  (* None after [close] *)
+  mutable corrupt : corrupt_line list;  (* rejected records, load order *)
+  mutable loaded : int;  (* entries accepted from the existing file *)
+}
+
+(* A record line: "e <key 32 hex> <md5(payload) 32 hex> <payload>". *)
+let record_line (key : string) (payload : string) : string =
+  Printf.sprintf "e %s %s %s\n" key (Digest.to_hex (Digest.string payload)) payload
+
+let parse_record (line : string) : (string * string * outcome, string) result =
+  let fail reason = Error reason in
+  if String.length line < 2 || String.sub line 0 2 <> "e " then fail "unknown record tag"
+  else if String.length line < 2 + 32 + 1 + 32 + 1 then fail "short record"
+  else
+    let key = String.sub line 2 32 in
+    let sum = String.sub line 35 32 in
+    if line.[34] <> ' ' || line.[67] <> ' ' then fail "malformed record framing"
+    else
+      let payload = String.sub line 68 (String.length line - 68) in
+      let is_hex s = String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s in
+      if not (is_hex key && is_hex sum) then fail "malformed digest"
+      else if Digest.to_hex (Digest.string payload) <> sum then
+        fail "checksum mismatch (bit rot or torn write)"
+      else
+        match payload_to payload with
+        | Some (desc, o) -> Ok (key, desc, o)
+        | None -> fail "unparseable payload"
+
+(* Open (creating if absent) the store at [file].  An existing file's
+   header must match [magic] exactly — a foreign or stale-format file is
+   refused with [Failure] rather than silently rewritten.  Damaged
+   records are skipped and reported through [corrupt_entries]; when two
+   valid records share a key (two writers raced to measure the same
+   point), the later one wins — both hold the same deterministic
+   outcome, so the choice is cosmetic. *)
+let open_ ~(file : string) : t =
+  let t =
+    {
+      file;
+      lock = Mutex.create ();
+      index = Hashtbl.create 256;
+      oc = None;
+      corrupt = [];
+      loaded = 0;
+    }
+  in
+  let exists = Sys.file_exists file && (Unix.stat file).Unix.st_size > 0 in
+  if exists then begin
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        (match In_channel.input_line ic with
+        | Some m when m = magic -> ()
+        | Some m ->
+          failwith
+            (Printf.sprintf "Store: %s has header %S, expected %S — refusing a foreign file" file
+               m magic)
+        | None -> failwith (Printf.sprintf "Store: %s: missing header" file));
+        let lineno = ref 1 in
+        let rec loop () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some "" ->
+            incr lineno;
+            loop ()
+          | Some line ->
+            incr lineno;
+            (match parse_record line with
+            | Ok (key, desc, o) ->
+              Hashtbl.replace t.index key (desc, o);
+              t.loaded <- t.loaded + 1
+            | Error reason ->
+              t.corrupt <- { cl_line = !lineno; cl_reason = reason } :: t.corrupt);
+            loop ()
+        in
+        loop ())
+  end;
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file in
+  if not exists then begin
+    output_string oc (magic ^ "\n");
+    flush oc
+  end;
+  t.oc <- Some oc;
+  t.corrupt <- List.rev t.corrupt;
+  t
+
+let corrupt_entries t : corrupt_line list = Mutex.protect t.lock (fun () -> t.corrupt)
+let loaded t : int = Mutex.protect t.lock (fun () -> t.loaded)
+let entries t : int = Mutex.protect t.lock (fun () -> Hashtbl.length t.index)
+let file t : string = t.file
+
+let get t (key : string) : outcome option =
+  Mutex.protect t.lock (fun () -> Option.map snd (Hashtbl.find_opt t.index key))
+
+let mem t (key : string) : bool = Mutex.protect t.lock (fun () -> Hashtbl.mem t.index key)
+
+(* Record one settled outcome: index plus one appended record, flushed
+   before the lock drops (atomic with respect to every other writer on
+   this handle).  A key already present is left untouched — outcomes
+   are deterministic, so the first write is as good as any. *)
+let put t ~(key : string) ~(desc : string) (o : outcome) : unit =
+  Mutex.protect t.lock (fun () ->
+      if not (Hashtbl.mem t.index key) then begin
+        (match t.oc with
+        | None -> invalid_arg "Store.put: store is closed"
+        | Some oc ->
+          output_string oc (record_line key (payload_of desc o));
+          flush oc);
+        Hashtbl.replace t.index key (desc, o)
+      end)
+
+let close t : unit =
+  Mutex.protect t.lock (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        (try close_out oc with Sys_error _ -> ());
+        t.oc <- None)

@@ -406,6 +406,22 @@ let[@inline] ctest (cmp : Instr.cmp) (c : int) : bool =
   | Instr.CGt -> c > 0
   | Instr.CGe -> c >= 0
 
+(* Float setp uses IEEE comparison semantics, as the hardware's
+   unordered-operand rules demand: any comparison with NaN is false
+   except ne, which is true.  (Float.compare is a *total* order that
+   sorts NaN below everything — using it here made the simulator
+   disagree with [Kir.Interp] on NaN, the divergence documented and
+   excluded in the golden tests until this fix.)  OCaml's polymorphic
+   comparisons specialize to exactly IEEE on floats. *)
+let[@inline] ftest (cmp : Instr.cmp) (x : float) (y : float) : bool =
+  match cmp with
+  | Instr.CEq -> x = y
+  | Instr.CNe -> x <> y
+  | Instr.CLt -> x < y
+  | Instr.CLe -> x <= y
+  | Instr.CGt -> x > y
+  | Instr.CGe -> x >= y
+
 (* Stored value as its float memory representation: a float source, or
    an S32 register-file offset converted lane-wise. *)
 type vsrc = VF of fsrc | VI of int
@@ -780,14 +796,14 @@ let compile_kernel (env : env) (k : Prog.t) (args : (string * arg) list)
               let fr = w.fregs and pr = w.pregs in
               for l = 0 to 31 do
                 if mask land (1 lsl l) <> 0 then
-                  pr.(doff + l) <- ctest cmp (Float.compare fr.(ao + l) fr.(bo + l))
+                  pr.(doff + l) <- ftest cmp fr.(ao + l) fr.(bo + l)
               done)
         | FR ao, FK y ->
           alu [ a; b ] d (fun w mask ->
               let fr = w.fregs and pr = w.pregs in
               for l = 0 to 31 do
                 if mask land (1 lsl l) <> 0 then
-                  pr.(doff + l) <- ctest cmp (Float.compare fr.(ao + l) y)
+                  pr.(doff + l) <- ftest cmp fr.(ao + l) y
               done)
         | _ ->
           alu [ a; b ] d (fun w mask ->
@@ -796,7 +812,7 @@ let compile_kernel (env : env) (k : Prog.t) (args : (string * arg) list)
               fill_f b' fr w mask vb;
               for l = 0 to 31 do
                 if mask land (1 lsl l) <> 0 then
-                  pr.(doff + l) <- ctest cmp (Float.compare va.(l) vb.(l))
+                  pr.(doff + l) <- ftest cmp va.(l) vb.(l)
               done))
       | Reg.S32 | Reg.Pred ->
         let a' = isrc_of a and b' = isrc_of b in

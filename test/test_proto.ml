@@ -1,0 +1,313 @@
+(* Wire-protocol battery: QCheck round-trips for every message, plus
+   adversarial framing — truncated frames, oversized length prefixes,
+   interleaved garbage, hostile JSON.  The contract under test is
+   totality: any bytes produce either a message or a typed error,
+   never an exception, a hang or a stack overflow. *)
+
+module P = Tuner.Proto
+module J = Util.Json
+
+let t name f = Alcotest.test_case name `Quick f
+let qt = QCheck_alcotest.to_alcotest
+
+(* Exact float identity, NaN included. *)
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_string =
+  (* Full byte range: the codec must round-trip control characters and
+     non-UTF-8 bytes, not just pretty ASCII. *)
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 24))
+
+let gen_float =
+  (* [Float.nan] is itself a payload NaN (0x7ff8...001); the other two
+     NaNs pin sign and arbitrary-payload round-trips. *)
+  QCheck.Gen.(
+    oneof
+      [
+        float;
+        oneofl
+          [
+            Float.nan;
+            Int64.float_of_bits 0xFFF8000000000000L;
+            Int64.float_of_bits 0x7FF0123456789ABCL;
+            Float.infinity;
+            Float.neg_infinity;
+            0.0;
+            -0.0;
+            0x1p-1074;
+            1e300;
+          ];
+      ])
+
+let gen_scale = QCheck.Gen.oneofl [ P.Quick; P.Bench; P.Full ]
+
+let gen_chaos =
+  QCheck.Gen.(
+    opt (map2 (fun s c -> { P.ch_seed = s; ch_count = c }) small_int small_int))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        return P.Ping;
+        return P.Stats;
+        return P.Shutdown;
+        map2 (fun app scale -> P.Tune { app; scale }) gen_string gen_scale;
+        map3 (fun app scale chaos -> P.Explore { app; scale; chaos }) gen_string gen_scale
+          gen_chaos;
+        map2 (fun app config -> P.Lint { app; config }) gen_string (opt gen_string);
+      ])
+
+let gen_row = QCheck.Gen.(map2 (fun d x -> { P.m_desc = d; m_time_s = x }) gen_string gen_float)
+let gen_fault = QCheck.Gen.(map2 (fun d f -> { P.f_desc = d; f_fault = f }) gen_string gen_string)
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        return P.Pong;
+        return P.Bye;
+        map
+          (fun (a, b, c, d, e, f) ->
+            P.Stats_r
+              {
+                sv_requests = a;
+                sv_errors = b;
+                sv_runs = c;
+                sv_store_hits = d;
+                sv_store_misses = e;
+                sv_store_entries = f;
+              })
+          (tup6 small_int small_int small_int small_int small_int small_int);
+        map
+          (fun (app, n, chosen, sel, runs, hits) ->
+            P.Tune_r
+              {
+                t_app = app;
+                t_space_size = n;
+                t_chosen = chosen;
+                t_selected = sel;
+                t_runs = runs;
+                t_store_hits = hits;
+              })
+          (tup6 gen_string small_int gen_row (small_list gen_string) small_int small_int);
+        map2
+          (fun (app, n, inv, best, sbest, sel) (ex, red, opt, faults, runs, hits) ->
+            P.Explore_r
+              {
+                x_app = app;
+                x_space_size = n;
+                x_invalid = inv;
+                x_best = best;
+                x_selected_best = sbest;
+                x_selected = sel;
+                x_exhaustive = ex;
+                x_reduction = red;
+                x_optimum_selected = opt;
+                x_faults = faults;
+                x_runs = runs;
+                x_store_hits = hits;
+              })
+          (tup6 gen_string small_int small_int gen_row gen_row (small_list gen_string))
+          (tup6 (small_list gen_row) gen_float bool (small_list gen_fault) small_int small_int);
+        map2 (fun r e -> P.Lint_r { l_report = r; l_errors = e }) gen_string bool;
+        map2
+          (fun c m -> P.Error_r { e_code = c; e_msg = m })
+          (oneofl [ P.Unknown_app; P.Bad_request; P.Protocol_error; P.Server_error ])
+          gen_string;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Message equality (floats by bits)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let row_eq (a : P.measured_row) (b : P.measured_row) =
+  String.equal a.m_desc b.m_desc && feq a.m_time_s b.m_time_s
+
+let req_eq (a : P.request) (b : P.request) =
+  match (a, b) with
+  | P.Ping, P.Ping | P.Stats, P.Stats | P.Shutdown, P.Shutdown -> true
+  | P.Tune x, P.Tune y -> x.app = y.app && x.scale = y.scale
+  | P.Explore x, P.Explore y -> x.app = y.app && x.scale = y.scale && x.chaos = y.chaos
+  | P.Lint x, P.Lint y -> x.app = y.app && x.config = y.config
+  | _ -> false
+
+let resp_eq (a : P.response) (b : P.response) =
+  match (a, b) with
+  | P.Pong, P.Pong | P.Bye, P.Bye -> true
+  | P.Stats_r x, P.Stats_r y -> x = y
+  | P.Tune_r x, P.Tune_r y ->
+    x.t_app = y.t_app && x.t_space_size = y.t_space_size && row_eq x.t_chosen y.t_chosen
+    && x.t_selected = y.t_selected && x.t_runs = y.t_runs && x.t_store_hits = y.t_store_hits
+  | P.Explore_r x, P.Explore_r y ->
+    x.x_app = y.x_app && x.x_space_size = y.x_space_size && x.x_invalid = y.x_invalid
+    && row_eq x.x_best y.x_best
+    && row_eq x.x_selected_best y.x_selected_best
+    && x.x_selected = y.x_selected
+    && List.length x.x_exhaustive = List.length y.x_exhaustive
+    && List.for_all2 row_eq x.x_exhaustive y.x_exhaustive
+    && feq x.x_reduction y.x_reduction
+    && x.x_optimum_selected = y.x_optimum_selected
+    && x.x_faults = y.x_faults && x.x_runs = y.x_runs && x.x_store_hits = y.x_store_hits
+  | P.Lint_r x, P.Lint_r y -> x.l_report = y.l_report && x.l_errors = y.l_errors
+  | P.Error_r x, P.Error_r y -> x.e_code = y.e_code && x.e_msg = y.e_msg
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip properties                                               *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_tests =
+  [
+    qt
+      (QCheck.Test.make ~name:"request round-trips through encode/decode (qcheck)" ~count:500
+         (QCheck.make gen_request) (fun req ->
+           match P.decode_request (P.encode_request req) with
+           | Ok req' -> req_eq req req'
+           | Error e -> QCheck.Test.fail_reportf "decode: %s" (P.decode_error_to_string e)));
+    qt
+      (QCheck.Test.make
+         ~name:"response round-trips through encode/decode, floats bit-exact (qcheck)" ~count:500
+         (QCheck.make gen_response) (fun resp ->
+           match P.decode_response (P.encode_response resp) with
+           | Ok resp' -> resp_eq resp resp'
+           | Error e -> QCheck.Test.fail_reportf "decode: %s" (P.decode_error_to_string e)));
+    qt
+      (QCheck.Test.make ~name:"JSON values survive print/parse (qcheck)" ~count:500
+         (QCheck.make
+            QCheck.Gen.(
+              sized (fun n ->
+                  fix
+                    (fun self n ->
+                      if n = 0 then
+                        oneof
+                          [
+                            return J.Null;
+                            map (fun b -> J.Bool b) bool;
+                            map (fun i -> J.Int i) int;
+                            map (fun s -> J.Str s) gen_string;
+                          ]
+                      else
+                        oneof
+                          [
+                            map (fun l -> J.List l) (list_size (int_bound 4) (self (n / 2)));
+                            map
+                              (fun l -> J.Obj l)
+                              (list_size (int_bound 4) (pair gen_string (self (n / 2))));
+                          ])
+                    (min n 6))))
+         (fun v ->
+           match J.of_string (J.to_string v) with Ok v' -> v = v' | Error _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial framing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let framing_tests =
+  [
+    t "frame/peek_frame round-trip, including back-to-back frames" (fun () ->
+        let a = "hello" and b = String.make 300 'x' in
+        let buf = P.frame a ^ P.frame b in
+        match P.peek_frame buf ~pos:0 with
+        | `Frame (p, next) -> (
+          Alcotest.(check string) "first payload" a p;
+          match P.peek_frame buf ~pos:next with
+          | `Frame (p2, next2) ->
+            Alcotest.(check string) "second payload" b p2;
+            Alcotest.(check int) "consumed exactly" (String.length buf) next2
+          | _ -> Alcotest.fail "second frame not found")
+        | _ -> Alcotest.fail "first frame not found");
+    qt
+      (QCheck.Test.make ~name:"every strict prefix of a frame asks for the missing bytes (qcheck)"
+         ~count:200
+         (QCheck.make QCheck.Gen.(pair gen_string (int_bound 1000)))
+         (fun (payload, cut) ->
+           let full = P.frame payload in
+           let cut = cut mod String.length full in
+           let prefix = String.sub full 0 cut in
+           match P.peek_frame prefix ~pos:0 with
+           | `Need k ->
+             (* before the 4-byte header is in, only its remainder is
+                requested; after, the remainder of the whole frame *)
+             k = (if cut < 4 then 4 - cut else String.length full - cut)
+             && (match P.peek_frame full ~pos:0 with `Frame (p, _) -> p = payload | _ -> false)
+             &&
+             (* a stream ending here is a typed truncation, not a crash *)
+             (match P.at_eof ~pending:cut ~need:k with
+             | Some (P.Truncated _) -> cut > 0 || k <> 4
+             | None -> cut = 0
+             | Some (P.Oversized _) -> false)
+           | _ -> false));
+    t "oversized length prefix is rejected before allocation" (fun () ->
+        let header = Bytes.create 4 in
+        Bytes.set_uint8 header 0 0x7F;
+        Bytes.set_uint8 header 1 0xFF;
+        Bytes.set_uint8 header 2 0xFF;
+        Bytes.set_uint8 header 3 0xFF;
+        (match P.peek_frame (Bytes.to_string header) ~pos:0 with
+        | `Error (P.Oversized { frame_len; max_len }) ->
+          Alcotest.(check int) "declared" 0x7FFFFFFF frame_len;
+          Alcotest.(check int) "limit" P.default_max_frame max_len
+        | _ -> Alcotest.fail "oversized frame accepted");
+        (* one byte over the limit is already out *)
+        let n = P.default_max_frame + 1 in
+        let h = Bytes.create 4 in
+        Bytes.set_uint8 h 0 ((n lsr 24) land 0xFF);
+        Bytes.set_uint8 h 1 ((n lsr 16) land 0xFF);
+        Bytes.set_uint8 h 2 ((n lsr 8) land 0xFF);
+        Bytes.set_uint8 h 3 (n land 0xFF);
+        match P.peek_frame (Bytes.to_string h) ~pos:0 with
+        | `Error (P.Oversized _) -> ()
+        | _ -> Alcotest.fail "limit+1 frame accepted");
+    qt
+      (QCheck.Test.make ~name:"garbage bytes never crash the decoders (qcheck)" ~count:500
+         (QCheck.make QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 64)))
+         (fun garbage ->
+           (* Any result is fine; an exception is the only failure. *)
+           (match P.decode_request garbage with Ok _ | Error _ -> ());
+           (match P.decode_response garbage with Ok _ | Error _ -> ());
+           (match P.peek_frame garbage ~pos:0 with `Frame _ | `Need _ | `Error _ -> ());
+           true));
+    t "interleaved garbage between frames surfaces as a typed error" (fun () ->
+        (* A valid frame, then bytes that declare an absurd length: the
+           stream is poisoned and must die with Oversized, not hang. *)
+        let buf = P.frame {|{"type":"ping"}|} ^ "\xFF\xFF\xFF\xFFgarbage" in
+        match P.peek_frame buf ~pos:0 with
+        | `Frame (p, next) -> (
+          Alcotest.(check bool) "first frame decodes" true (P.decode_request p = Ok P.Ping);
+          match P.peek_frame buf ~pos:next with
+          | `Error (P.Oversized _) -> ()
+          | _ -> Alcotest.fail "garbage tail not rejected")
+        | _ -> Alcotest.fail "leading frame lost");
+    t "hostile JSON: deep nesting terminates with an error, not a stack overflow" (fun () ->
+        let deep = String.make 100_000 '[' in
+        (match J.of_string deep with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "100k-deep nesting parsed");
+        match P.decode_request (String.make 100_000 '{') with
+        | Error (P.Bad_json _) -> ()
+        | _ -> Alcotest.fail "deep object accepted");
+    t "well-formed JSON of the wrong shape is a Bad_message" (fun () ->
+        List.iter
+          (fun text ->
+            match P.decode_request text with
+            | Error (P.Bad_message _) -> ()
+            | Ok _ -> Alcotest.failf "%s decoded as a request" text
+            | Error (P.Bad_json m) -> Alcotest.failf "%s reported as bad JSON: %s" text m)
+          [
+            {|{"type":"warp-speed"}|};
+            {|{"type":"tune"}|};
+            {|{"type":"tune","app":"matmul","scale":"galactic"}|};
+            {|{"type":"tune","app":42,"scale":"quick"}|};
+            {|{"no_type":true}|};
+            {|[1,2,3]|};
+            {|"just a string"|};
+          ]);
+  ]
+
+let suite = [ ("proto", roundtrip_tests @ framing_tests) ]

@@ -1,0 +1,242 @@
+(* Integration battery for the tuning service: served sweeps must be
+   bit-identical to direct [Search.run], a warm store answers without
+   the simulator, chaos-faulted request streams degrade gracefully
+   without poisoning the store, and no adversarial frame takes the
+   daemon down — in-process through [Serve.handle_frame] and end-to-end
+   over a real Unix-domain socket. *)
+
+module P = Tuner.Proto
+module S = Tuner.Serve
+
+let t name f = Alcotest.test_case name `Quick f
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let with_server (f : S.t -> string -> 'a) : 'a =
+  let file = Filename.temp_file "gpuopt-serve-test-" ".store" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let store = Tuner.Store.open_ ~file in
+      Fun.protect
+        ~finally:(fun () -> Tuner.Store.close store)
+        (fun () -> f (S.create ~jobs:2 ~store (Apps.Serving.resolver ())) file))
+
+let explore_reply server app : P.explore_reply =
+  match S.handle server (P.Explore { app; scale = P.Quick; chaos = None }) with
+  | P.Explore_r x -> x
+  | _ -> Alcotest.failf "%s: explore did not return Explore_r" app
+
+let rows_of (ms : Tuner.Search.measured list) : (string * float) list =
+  List.map (fun (m : Tuner.Search.measured) -> (m.cand.desc, m.time_s)) ms
+
+let check_rows what expected (got : P.measured_row list) =
+  Alcotest.(check int) (what ^ ": row count") (List.length expected) (List.length got);
+  List.iter2
+    (fun (desc, time) (r : P.measured_row) ->
+      if desc <> r.m_desc || not (feq time r.m_time_s) then
+        Alcotest.failf "%s: %s/%h vs served %s/%h" what desc time r.m_desc r.m_time_s)
+    expected got
+
+(* ------------------------------------------------------------------ *)
+(* Served results vs direct Search.run                                 *)
+(* ------------------------------------------------------------------ *)
+
+let identity_tests =
+  [
+    t "cold served explore is bit-identical to direct Search.run" (fun () ->
+        List.iter
+          (fun app ->
+            let e = Option.get (Apps.Registry.find app) in
+            let direct = Tuner.Search.run ~jobs:2 ~app_name:app (e.quick_candidates ()) in
+            with_server (fun server _ ->
+                let x = explore_reply server app in
+                Alcotest.(check int) "space size" direct.space_size x.x_space_size;
+                check_rows (app ^ " exhaustive") (rows_of direct.exhaustive) x.x_exhaustive;
+                check_rows (app ^ " best") (rows_of [ direct.best ]) [ x.x_best ];
+                check_rows (app ^ " selected best")
+                  (rows_of [ direct.selected_best ])
+                  [ x.x_selected_best ];
+                Alcotest.(check (list string)) "selected descs"
+                  (List.map (fun ((c : Tuner.Candidate.t), _) -> c.desc) direct.selected)
+                  x.x_selected;
+                Alcotest.(check bool) "reduction bit-equal" true
+                  (feq direct.reduction x.x_reduction);
+                Alcotest.(check bool) "optimum flag" direct.optimum_selected
+                  x.x_optimum_selected))
+          [ "matmul"; "cp" ]);
+    t "served tune agrees with direct tune" (fun () ->
+        let e = Option.get (Apps.Registry.find "matmul") in
+        let best, selected = Tuner.Search.tune ~jobs:2 ~app_name:"matmul" (e.quick_candidates ()) in
+        with_server (fun server _ ->
+            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick }) with
+            | P.Tune_r r ->
+              Alcotest.(check string) "chosen desc" best.cand.desc r.t_chosen.m_desc;
+              Alcotest.(check bool) "chosen time bit-equal" true
+                (feq best.time_s r.t_chosen.m_time_s);
+              Alcotest.(check (list string)) "selected"
+                (List.map (fun ((c : Tuner.Candidate.t), _) -> c.desc) selected)
+                r.t_selected
+            | _ -> Alcotest.fail "tune did not return Tune_r"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Warm cache and chaos degradation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cache_tests =
+  [
+    t "warm replay does zero new measurements" (fun () ->
+        with_server (fun server _ ->
+            let cold = explore_reply server "matmul" in
+            Alcotest.(check int) "cold pays the simulator" cold.x_space_size cold.x_runs;
+            let warm = explore_reply server "matmul" in
+            Alcotest.(check int) "warm runs" 0 warm.x_runs;
+            Alcotest.(check int) "warm store hits" warm.x_space_size warm.x_store_hits;
+            check_rows "warm rows identical"
+              (List.map (fun (r : P.measured_row) -> (r.m_desc, r.m_time_s)) cold.x_exhaustive)
+              warm.x_exhaustive;
+            (* the tune request over the same space is also free *)
+            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick }) with
+            | P.Tune_r r -> Alcotest.(check int) "tune runs" 0 r.t_runs
+            | _ -> Alcotest.fail "tune failed on a warm store"));
+    t "a chaos-faulted stream degrades gracefully and never poisons the store" (fun () ->
+        with_server (fun server _ ->
+            let clean = explore_reply server "matmul" in
+            (* chaos-injected request: per-request faults, response still
+               well-formed, with each fault in the journal encoding *)
+            let chaos =
+              match
+                S.handle server
+                  (P.Explore
+                     {
+                       app = "matmul";
+                       scale = P.Quick;
+                       chaos = Some { ch_seed = 7; ch_count = 3 };
+                     })
+              with
+              | P.Explore_r x -> x
+              | _ -> Alcotest.fail "chaos explore did not return Explore_r"
+            in
+            Alcotest.(check int) "three faults reported" 3 (List.length chaos.x_faults);
+            List.iter
+              (fun (f : P.fault_row) ->
+                match Tuner.Fault.of_journal f.f_fault with
+                | Some _ -> ()
+                | None -> Alcotest.failf "fault row not in journal encoding: %s" f.f_fault)
+              chaos.x_faults;
+            Alcotest.(check int) "chaos bypasses the store entirely" 0 chaos.x_store_hits;
+            (* the store is unpoisoned: a clean replay is warm and equal *)
+            let after = explore_reply server "matmul" in
+            Alcotest.(check int) "clean replay after chaos: zero runs" 0 after.x_runs;
+            check_rows "clean replay after chaos: rows identical"
+              (List.map (fun (r : P.measured_row) -> (r.m_desc, r.m_time_s)) clean.x_exhaustive)
+              after.x_exhaustive;
+            (* impossible chaos (more faults than candidates) is a typed
+               error, not a crash *)
+            match
+              S.handle server
+                (P.Explore
+                   {
+                     app = "matmul";
+                     scale = P.Quick;
+                     chaos = Some { ch_seed = 1; ch_count = 1_000_000 };
+                   })
+            with
+            | P.Error_r { e_code = P.Bad_request; _ } -> ()
+            | _ -> Alcotest.fail "oversized chaos count not rejected as Bad_request"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial requests through the frame handler                      *)
+(* ------------------------------------------------------------------ *)
+
+let handle_frame_tests =
+  [
+    t "unknown app, bad lint config, garbage frames: typed errors, no crash" (fun () ->
+        with_server (fun server _ ->
+            (match S.handle server (P.Tune { app = "nope"; scale = P.Quick }) with
+            | P.Error_r { e_code = P.Unknown_app; e_msg } ->
+              Alcotest.(check bool) "lists known apps" true
+                (String.length e_msg > 0
+                && Option.is_some
+                     (String.index_opt e_msg 'm' (* matmul|cp|sad|mri *)))
+            | _ -> Alcotest.fail "unknown app not typed");
+            (match S.handle server (P.Lint { app = "matmul"; config = Some "no-such-config" }) with
+            | P.Error_r { e_code = P.Bad_request; _ } -> ()
+            | _ -> Alcotest.fail "bad lint config not typed");
+            (match S.handle server (P.Lint { app = "matmul"; config = None }) with
+            | P.Lint_r { l_report; l_errors } ->
+              Alcotest.(check bool) "report nonempty" true (String.length l_report > 0);
+              Alcotest.(check bool) "default config is clean" false l_errors
+            | _ -> Alcotest.fail "lint failed");
+            List.iter
+              (fun garbage ->
+                let reply = S.handle_frame server garbage in
+                match P.decode_response reply with
+                | Ok (P.Error_r { e_code = P.Protocol_error; _ }) -> ()
+                | Ok _ -> Alcotest.failf "garbage %S produced a non-error reply" garbage
+                | Error e ->
+                  Alcotest.failf "error reply failed to decode: %s" (P.decode_error_to_string e))
+              [
+                "";
+                "not json";
+                "\x00\xff\xfe";
+                {|{"type":"unknown-verb"}|};
+                {|{"type":"tune","app":"matmul","scale":"sideways"}|};
+                String.make 4096 '[';
+              ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a Unix-domain socket                                *)
+(* ------------------------------------------------------------------ *)
+
+let socket_tests =
+  [
+    t "socket round-trip: serve, request, survive garbage, shut down" (fun () ->
+        with_server (fun server _ ->
+            let socket = Filename.temp_file "gpuopt-serve-test-" ".sock" in
+            Fun.protect
+              ~finally:(fun () -> try Sys.remove socket with Sys_error _ -> ())
+              (fun () ->
+                let daemon =
+                  Domain.spawn (fun () ->
+                      S.listen ~conn_workers:2 ~poll_s:0.05 server ~socket ())
+                in
+                Alcotest.(check bool) "daemon comes up" true (S.wait_ready ~socket ());
+                (* several requests on one connection *)
+                S.with_client ~socket (fun fd ->
+                    (match S.rpc fd P.Ping with
+                    | Ok P.Pong -> ()
+                    | _ -> Alcotest.fail "ping failed");
+                    match S.rpc fd (P.Explore { app = "matmul"; scale = P.Quick; chaos = None }) with
+                    | Ok (P.Explore_r x) ->
+                      Alcotest.(check int) "cold sweep over the socket" x.x_space_size x.x_runs
+                    | Ok _ -> Alcotest.fail "wrong reply type"
+                    | Error e -> Alcotest.failf "explore rpc: %s" e);
+                (* a poisoned connection draws a typed error and dies;
+                   the daemon itself survives *)
+                S.with_client ~socket (fun fd ->
+                    let garbage = "\xFF\xFF\xFF\xFFnonsense" in
+                    ignore (Unix.write_substring fd garbage 0 (String.length garbage) : int);
+                    match S.read_frame fd with
+                    | Ok payload -> (
+                      match P.decode_response payload with
+                      | Ok (P.Error_r { e_code = P.Protocol_error; _ }) -> ()
+                      | _ -> Alcotest.fail "poisoned stream not answered with protocol error")
+                    | Error e -> Alcotest.failf "no error reply before close: %s" e);
+                (match S.call ~socket P.Stats with
+                | Ok (P.Stats_r s) ->
+                  Alcotest.(check bool) "daemon alive after garbage; errors counted" true
+                    (s.sv_errors >= 1)
+                | _ -> Alcotest.fail "stats failed after poisoned connection");
+                (match S.call ~socket P.Shutdown with
+                | Ok P.Bye -> ()
+                | _ -> Alcotest.fail "shutdown not acknowledged");
+                Domain.join daemon;
+                Alcotest.(check bool) "socket unlinked after shutdown" false
+                  (Sys.file_exists socket))));
+  ]
+
+let suite =
+  [ ("serve", identity_tests @ cache_tests @ handle_frame_tests @ socket_tests) ]

@@ -113,13 +113,14 @@ let golden_tests =
 (* Random race-free kernels: every thread writes only O[gid], so the
    output is deterministic regardless of warp interleaving.  Value
    expressions stay in F32 and are kept finite: division, sqrt, rsqrt
-   and rcp are guarded so no NaN/infinity is ever produced.  That
-   matters because the simulator's float Setp deliberately uses
-   [Float.compare] (totally ordered, NaN below everything) — faithful
-   to the original execution core — while [Kir.Interp] uses IEEE
-   comparisons where NaN compares false; finite values make the two
-   agree bit-for-bit.  Index expressions are structural so every
-   access is in bounds. *)
+   and rcp are guarded so arithmetic results are reproducible across
+   expression shapes.  NaN comparison semantics no longer need the
+   guard: the simulator's float Setp historically used [Float.compare]
+   (a total order sorting NaN below everything) while [Kir.Interp] used
+   IEEE comparisons where NaN compares false — that divergence is fixed
+   (the sim's [ftest] is IEEE now) and pinned by the dedicated NaN
+   regression below.  Index expressions are structural so every access
+   is in bounds. *)
 
 let words = 256
 
@@ -236,6 +237,90 @@ let sim_matches_interp (k : kernel) ~(input : float array) ~(alpha : float) : bo
   in
   Array.for_all2 (fun x y -> Util.Float32.equal_bits x y) (run true) (run false)
 
+(* ------------------------------------------------------------------ *)
+(* NaN setp regression                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The caveat formerly documented above, promoted to a test: float
+   comparisons against NaN must follow IEEE unordered semantics (every
+   comparison false except ne) in BOTH execution engines, bit for bit.
+   Each thread compares its element against another (the lane-0 pair is
+   NaN vs a normal) under all six operators, plus Min/Max, which are
+   NaN-discarding on both sides. *)
+let nan_setp_kernel : kernel =
+  let cmps = [ Eq; Ne; Lt; Le; Gt; Ge ] in
+  let out idx value = Store ("O", (v "g" *: i 8) +: i idx, value) in
+  let store_cmp idx op = out idx (Select (Bin (op, v "x0", v "y"), f 1.0, f 0.0)) in
+  {
+    kname = "nan_setp";
+    scalar_params = [ ("n", S32) ];
+    array_params = [ { aname = "O"; aspace = Global }; { aname = "A"; aspace = Global } ];
+    shared_decls = [];
+    local_decls = [];
+    body =
+      [
+        Let ("g", S32, (bid_x *: bdim_x) +: tid_x);
+        If
+          ( v "g" <: Param "n",
+            [
+              Let ("x0", F32, Ld ("A", v "g"));
+              Let ("y", F32, Ld ("A", Bin (Rem, v "g" +: i 7, Param "n")));
+            ]
+            @ List.mapi store_cmp cmps
+            @ [ out 6 (Bin (Min, v "x0", v "y")); out 7 (Bin (Max, v "x0", v "y")) ],
+            [] );
+      ];
+  }
+
+let nan_setp_tests =
+  [
+    t "float setp on NaN: sim is IEEE and matches Kir.Interp (regression)" (fun () ->
+        let k = nan_setp_kernel in
+        Kir.Typecheck.check k;
+        let n = 32 in
+        let input =
+          Array.init n (fun idx ->
+              match idx mod 8 with
+              | 0 -> Float.nan
+              | 1 -> Float.infinity
+              | 2 -> Float.neg_infinity
+              | 3 -> 0.0
+              | 4 -> -0.0
+              | 5 -> 1.5
+              | 6 -> -2.25
+              | _ -> Util.Float32.round 3.7)
+        in
+        let run use_interp =
+          let d = Gpu.Device.create () in
+          let out = Gpu.Device.alloc d (n * 8) in
+          let a = Gpu.Device.alloc d n in
+          Gpu.Device.to_device d a input;
+          let args = [ ("O", Gpu.Sim.Buf out); ("A", Gpu.Sim.Buf a); ("n", Gpu.Sim.I n) ] in
+          let grid = (1, 1) and block = (n, 1) in
+          if use_interp then Kir.Interp.run d k ~grid ~block ~args
+          else begin
+            let ptx = Ptx.Opt.run (Kir.Lower.lower k) in
+            ignore
+              (Gpu.Sim.run ~mode:Gpu.Sim.Functional d { Gpu.Sim.kernel = ptx; grid; block; args })
+          end;
+          Gpu.Device.of_device d out
+        in
+        let interp = run true and sim = run false in
+        (* Lane 0 is NaN vs 3.7: IEEE truth, spelled out. *)
+        let expected0 = [| 0.; 1.; 0.; 0.; 0.; 0.; Util.Float32.round 3.7; Util.Float32.round 3.7 |] in
+        Array.iteri
+          (fun idx x ->
+            Alcotest.(check (float 0.0))
+              (Printf.sprintf "IEEE truth for NaN lane, O[%d]" idx)
+              x sim.(idx))
+          expected0;
+        Array.iteri
+          (fun idx x ->
+            if not (Util.Float32.equal_bits x sim.(idx)) then
+              Alcotest.failf "engines disagree at O[%d]: interp %h, sim %h" idx x sim.(idx))
+          interp);
+  ]
+
 let qcheck_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -253,4 +338,4 @@ let qcheck_tests =
            sim_matches_interp k ~input ~alpha));
   ]
 
-let suite = [ ("sim-golden", golden_tests @ qcheck_tests) ]
+let suite = [ ("sim-golden", golden_tests @ nan_setp_tests @ qcheck_tests) ]

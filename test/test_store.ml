@@ -1,0 +1,294 @@
+(* Content-addressed result store battery: digest stability, exact
+   round-trips through the on-disk format, concurrent writers, and loud
+   rejection of damaged records. *)
+
+module S = Tuner.Store
+
+let t name f = Alcotest.test_case name `Quick f
+let qt = QCheck_alcotest.to_alcotest
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let with_tmp (f : string -> 'a) : 'a =
+  let file = Filename.temp_file "gpuopt-store-test-" ".store" in
+  Fun.protect ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ()) (fun () -> f file)
+
+let with_store (f : string -> S.t -> 'a) : 'a =
+  with_tmp (fun file ->
+      let s = S.open_ ~file in
+      Fun.protect ~finally:(fun () -> S.close s) (fun () -> f file s))
+
+(* A synthetic but well-formed 32-hex-char key. *)
+let key_of (i : int) : string = Digest.to_hex (Digest.string (string_of_int i))
+
+(* ------------------------------------------------------------------ *)
+(* Digests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let digest_tests =
+  [
+    t "digests are stable across sessions (pure functions of content)" (fun () ->
+        (* Two independently built candidate lists for the same app and
+           scale must digest identically — nothing about physical
+           identity, closure allocation or build order may leak in. *)
+        let e = Option.get (Apps.Registry.find "matmul") in
+        let c1 = e.quick_candidates () and c2 = e.quick_candidates () in
+        let arch = S.arch_digest () in
+        Alcotest.(check string) "arch digest deterministic" arch (S.arch_digest ());
+        let descs cs =
+          List.filter_map
+            (fun (c : Tuner.Candidate.t) -> if c.valid then Some c.desc else None)
+            cs
+        in
+        let sp1 = S.space_digest ~app_name:"matmul" ~scale:"quick" (descs c1) in
+        let sp2 = S.space_digest ~app_name:"matmul" ~scale:"quick" (descs c2) in
+        Alcotest.(check string) "space digest stable" sp1 sp2;
+        List.iter2
+          (fun (a : Tuner.Candidate.t) (b : Tuner.Candidate.t) ->
+            Alcotest.(check string) ("kernel digest stable: " ^ a.desc) (S.kernel_digest a)
+              (S.kernel_digest b);
+            Alcotest.(check string) ("key stable: " ^ a.desc)
+              (S.candidate_key ~arch ~space:sp1 a)
+              (S.candidate_key ~arch ~space:sp2 b))
+          c1 c2);
+    t "digests separate what must not share measurements" (fun () ->
+        let e = Option.get (Apps.Registry.find "matmul") in
+        let cands = e.quick_candidates () in
+        let descs =
+          List.filter_map
+            (fun (c : Tuner.Candidate.t) -> if c.valid then Some c.desc else None)
+            cands
+        in
+        let quick = S.space_digest ~app_name:"matmul" ~scale:"quick" descs in
+        let full = S.space_digest ~app_name:"matmul" ~scale:"full" descs in
+        Alcotest.(check bool) "scale is part of the space digest" false (quick = full);
+        let other = S.space_digest ~app_name:"cp" ~scale:"quick" descs in
+        Alcotest.(check bool) "app is part of the space digest" false (quick = other);
+        match cands with
+        | a :: b :: _ ->
+          Alcotest.(check bool) "distinct candidates, distinct kernels" false
+            (S.kernel_digest a = S.kernel_digest b)
+        | _ -> Alcotest.fail "expected at least two candidates");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_tests =
+  [
+    qt
+      (QCheck.Test.make
+         ~name:"put/get survives close + reopen with times bit-exact (qcheck)" ~count:30
+         QCheck.(
+           small_list
+             (pair small_nat
+                (oneof
+                   [
+                     float;
+                     oneofl
+                       [
+                         Float.nan;
+                         Int64.float_of_bits 0xFFF0DEADBEEF0001L;
+                         Float.infinity;
+                         0x1.fffffep+127;
+                         0x1p-149;
+                         -0.0;
+                         1e-300;
+                       ];
+                   ])))
+         (fun entries ->
+           (* In the real system a key determines its outcome; the store
+              is first-write-wins, so keep the first value per key. *)
+           let entries =
+             List.rev
+               (List.fold_left
+                  (fun acc (i, t) -> if List.mem_assoc i acc then acc else (i, t) :: acc)
+                  [] entries)
+           in
+           with_tmp (fun file ->
+               let s = S.open_ ~file in
+               List.iter
+                 (fun (i, time) -> S.put s ~key:(key_of i) ~desc:(Printf.sprintf "cfg-%d" i) (Ok time))
+                 entries;
+               S.close s;
+               let s' = S.open_ ~file in
+               Fun.protect
+                 ~finally:(fun () -> S.close s')
+                 (fun () ->
+                   S.corrupt_entries s' = []
+                   && List.for_all
+                        (fun (i, time) ->
+                          match S.get s' (key_of i) with
+                          | Some (Ok time') -> feq time time'
+                          | _ -> false)
+                        entries))));
+    t "fault outcomes round-trip through the journal encoding" (fun () ->
+        let faults =
+          [
+            Tuner.Fault.Compile_error { stage = "unroll"; reason = "bad \"quoted\"\nreason" };
+            Tuner.Fault.Verify_rejected { stage = "coalesce"; reason = "mismatch at 3" };
+            Tuner.Fault.Launch_error { reason = "too many threads" };
+            Tuner.Fault.Sim_trap { reason = "out-of-bounds load" };
+            Tuner.Fault.Watchdog_exceeded { issued = 100001; budget = 100000 };
+            Tuner.Fault.Worker_crash { exn_name = "Stack_overflow"; backtrace = "" };
+          ]
+        in
+        with_tmp (fun file ->
+            let s = S.open_ ~file in
+            List.iteri (fun i fa -> S.put s ~key:(key_of i) ~desc:"d" (Error fa)) faults;
+            S.close s;
+            let s' = S.open_ ~file in
+            Fun.protect
+              ~finally:(fun () -> S.close s')
+              (fun () ->
+                Alcotest.(check int) "all loaded" (List.length faults) (S.loaded s');
+                List.iteri
+                  (fun i fa ->
+                    match S.get s' (key_of i) with
+                    | Some (Error fa') ->
+                      Alcotest.(check string) "fault preserved" (Tuner.Fault.to_journal fa)
+                        (Tuner.Fault.to_journal fa')
+                    | _ -> Alcotest.fail "fault entry lost")
+                  faults)));
+    t "put is first-write-wins and get/mem agree" (fun () ->
+        with_store (fun _file s ->
+            S.put s ~key:(key_of 1) ~desc:"d" (Ok 1.0);
+            S.put s ~key:(key_of 1) ~desc:"d" (Ok 2.0);
+            Alcotest.(check int) "one entry" 1 (S.entries s);
+            Alcotest.(check bool) "mem" true (S.mem s (key_of 1));
+            Alcotest.(check bool) "absent key" false (S.mem s (key_of 2));
+            match S.get s (key_of 1) with
+            | Some (Ok x) -> Alcotest.(check (float 0.0)) "first write kept" 1.0 x
+            | _ -> Alcotest.fail "entry lost"));
+    t "put on a closed store is refused" (fun () ->
+        with_tmp (fun file ->
+            let s = S.open_ ~file in
+            S.close s;
+            match S.put s ~key:(key_of 1) ~desc:"d" (Ok 1.0) with
+            | () -> Alcotest.fail "put succeeded on a closed store"
+            | exception Invalid_argument _ -> ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let concurrency_tests =
+  [
+    t "concurrent writers from N domains leave a consistent store" (fun () ->
+        with_tmp (fun file ->
+            let s = S.open_ ~file in
+            let n = 200 in
+            (* Four domains race 200 puts, with every key written twice
+               (two writers per key) to exercise the already-present
+               path under contention. *)
+            let work = List.init (2 * n) (fun i -> i mod n) in
+            ignore
+              (Util.Pool.map ~jobs:4
+                 (fun i ->
+                   S.put s ~key:(key_of i) ~desc:(Printf.sprintf "cfg-%d" i)
+                     (Ok (float_of_int i *. 0x1p-20)))
+                 work
+                : unit list);
+            S.close s;
+            let s' = S.open_ ~file in
+            Fun.protect
+              ~finally:(fun () -> S.close s')
+              (fun () ->
+                Alcotest.(check (list (pair int string))) "no record damaged" []
+                  (List.map
+                     (fun (c : S.corrupt_line) -> (c.cl_line, c.cl_reason))
+                     (S.corrupt_entries s'));
+                Alcotest.(check int) "every key present exactly once" n (S.entries s');
+                for i = 0 to n - 1 do
+                  match S.get s' (key_of i) with
+                  | Some (Ok x) ->
+                    if not (feq x (float_of_int i *. 0x1p-20)) then
+                      Alcotest.failf "key %d: wrong time" i
+                  | _ -> Alcotest.failf "key %d lost" i
+                done)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Corruption                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrite one line of a file in place. *)
+let mangle_line file lineno (f : string -> string option) : unit =
+  let lines = In_channel.with_open_text file In_channel.input_lines in
+  let lines' =
+    List.concat (List.mapi (fun i l -> if i = lineno then Option.to_list (f l) else [ l ]) lines)
+  in
+  Out_channel.with_open_text file (fun oc ->
+      List.iter
+        (fun l ->
+          Out_channel.output_string oc l;
+          Out_channel.output_char oc '\n')
+        lines')
+
+let fill_store file n =
+  let s = S.open_ ~file in
+  for i = 0 to n - 1 do
+    S.put s ~key:(key_of i) ~desc:(Printf.sprintf "cfg-%d" i) (Ok (float_of_int i))
+  done;
+  S.close s
+
+let corruption_tests =
+  [
+    t "a bit-flipped record is rejected loudly and skipped; the rest load" (fun () ->
+        with_tmp (fun file ->
+            fill_store file 10;
+            (* line 0 is the header; flip a payload byte of entry 3 *)
+            mangle_line file 4 (fun l ->
+                let b = Bytes.of_string l in
+                let p = Bytes.length b - 1 in
+                Bytes.set b p (if Bytes.get b p = '0' then '1' else '0');
+                Some (Bytes.to_string b));
+            let s = S.open_ ~file in
+            Fun.protect
+              ~finally:(fun () -> S.close s)
+              (fun () ->
+                (match S.corrupt_entries s with
+                | [ { cl_line = 5; cl_reason } ] ->
+                  Alcotest.(check bool) "reason names the checksum" true
+                    (String.length cl_reason > 0
+                    && String.sub cl_reason 0 8 = "checksum")
+                | other -> Alcotest.failf "expected 1 corrupt line, got %d" (List.length other));
+                Alcotest.(check int) "nine healthy entries" 9 (S.loaded s))));
+    t "a truncated record (torn write) is rejected and skipped" (fun () ->
+        with_tmp (fun file ->
+            fill_store file 5;
+            mangle_line file 3 (fun l -> Some (String.sub l 0 (String.length l / 2)));
+            let s = S.open_ ~file in
+            Fun.protect
+              ~finally:(fun () -> S.close s)
+              (fun () ->
+                Alcotest.(check int) "one rejection" 1 (List.length (S.corrupt_entries s));
+                Alcotest.(check int) "four healthy entries" 4 (S.loaded s))));
+    t "garbage lines are rejected per line, never fatal" (fun () ->
+        with_tmp (fun file ->
+            fill_store file 3;
+            mangle_line file 2 (fun _ -> Some "x totally not a record");
+            let s = S.open_ ~file in
+            Fun.protect
+              ~finally:(fun () -> S.close s)
+              (fun () ->
+                Alcotest.(check int) "one rejection" 1 (List.length (S.corrupt_entries s));
+                Alcotest.(check int) "two healthy entries" 2 (S.loaded s);
+                (* and the store still accepts appends afterwards *)
+                S.put s ~key:(key_of 99) ~desc:"post" (Ok 9.0);
+                Alcotest.(check int) "append after damage" 3 (S.entries s))));
+    t "a foreign header is refused outright" (fun () ->
+        with_tmp (fun file ->
+            Out_channel.with_open_text file (fun oc ->
+                Out_channel.output_string oc "some other format v9\n");
+            match S.open_ ~file with
+            | (_ : S.t) -> Alcotest.fail "foreign file accepted"
+            | exception Failure msg ->
+              Alcotest.(check bool) "error names the file" true
+                (String.length msg > 0
+                && String.exists (fun _ -> true) msg
+                && Option.is_some (String.index_opt msg ':'))));
+  ]
+
+let suite = [ ("store", digest_tests @ roundtrip_tests @ concurrency_tests @ corruption_tests) ]
