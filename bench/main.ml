@@ -71,7 +71,9 @@ let table1 () =
   printf "  issue %d cy/warp, ALU RAW %d cy, SFU %d cy (issue %d), shared %d cy,\n" l.issue l.alu
     l.sfu l.sfu_issue l.shared;
   printf "  global %d cy + channel (64B tx / %d cy = %.1f B/cy/SM; %.1f GB/s device)\n" l.global
-    l.coalesced_tx Gpu.Arch.bytes_per_cycle_per_sm Gpu.Arch.global_bandwidth_gbs
+    l.coalesced_tx
+    (Gpu.Arch.bytes_per_cycle_per_sm Gpu.Arch.g80)
+    Gpu.Arch.g80.Gpu.Arch.global_bandwidth_gbs
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: constraints                                                *)
@@ -79,7 +81,7 @@ let table1 () =
 
 let table2 () =
   section "Table 2: Constraints of GeForce 8800 and CUDA";
-  let l = Gpu.Arch.g80 in
+  let l = Gpu.Arch.g80.Gpu.Arch.limits in
   print_string
     (Tuner.Report.table
        [ "Resource or Configuration Parameter"; "Limit" ]
@@ -882,7 +884,7 @@ let serve () =
                 let e = registry app in
                 let direct = Tuner.Search.run ~jobs:!jobs ~app_name:app (e.quick_candidates ()) in
                 let t0 = Unix.gettimeofday () in
-                let reply = Srv.call ~socket (P.Explore { app; scale = P.Quick; chaos = None }) in
+                let reply = Srv.call ~socket (P.Explore { app; scale = P.Quick; chaos = None; arch = None }) in
                 let dt = Unix.gettimeofday () -. t0 in
                 match reply with
                 | Ok (P.Explore_r x) -> (app, dt, same_explore direct x)
@@ -900,11 +902,11 @@ let serve () =
             if gi mod 64 = 31 then
               ("chaos",
                P.Explore
-                 { app = "matmul"; scale = P.Quick; chaos = Some { P.ch_seed = gi; ch_count = 2 } })
+                 { app = "matmul"; scale = P.Quick; chaos = Some { P.ch_seed = gi; ch_count = 2 }; arch = None })
             else if gi mod 16 = 5 then ("ping", P.Ping)
             else if gi mod 16 = 13 then ("stats", P.Stats)
-            else if gi mod 4 = 2 then ("tune", P.Tune { app = app_of gi; scale = P.Quick })
-            else ("explore", P.Explore { app = app_of gi; scale = P.Quick; chaos = None })
+            else if gi mod 4 = 2 then ("tune", P.Tune { app = app_of gi; scale = P.Quick; arch = None })
+            else ("explore", P.Explore { app = app_of gi; scale = P.Quick; chaos = None; arch = None })
           in
           let validate kind (resp : (P.response, string) result) : string option =
             match (kind, resp) with

@@ -1,7 +1,8 @@
 (* gpuopt — command-line interface to the optimization-space pruning
    toolkit.
 
-     gpuopt arch                 print the machine model (Tables 1-2)
+     gpuopt arch [NAME]          print one machine model (Tables 1-2)
+     gpuopt archs                list the machine-model registry
      gpuopt explore <app>        exhaustive vs pruned search, one app
      gpuopt tune <app>           pruned-only search (the methodology)
      gpuopt inspect <app>        optimization space; --trace one config
@@ -43,8 +44,29 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let candidates_of (e : Apps.Registry.entry) quick =
-  if quick then e.quick_candidates () else e.candidates ()
+let candidates_of ?arch (e : Apps.Registry.entry) quick =
+  if quick then e.quick_candidates ?arch () else e.candidates ?arch ()
+
+(* Shared by explore/tune/lint/request: which machine model to target.
+   The registry names plus "all" (explore/tune only: sweep every
+   registry arch and report a per-arch winner table). *)
+let arch_name_arg =
+  let doc =
+    "Target machine model, by registry name (see $(b,gpuopt archs)).  $(b,all) sweeps every \
+     registry model and reports a per-arch winner table."
+  in
+  Arg.(value & opt string Gpu.Arch.g80.Gpu.Arch.name & info [ "arch" ] ~docv:"NAME" ~doc)
+
+let resolve_arch name : Gpu.Arch.t =
+  match Gpu.Arch.find name with
+  | Some a -> a
+  | None ->
+    Printf.eprintf "unknown arch %S (expected %s)\n" name
+      (String.concat "|" (Gpu.Arch.names @ [ "all" ]));
+    exit 2
+
+let winner_line (arch : Gpu.Arch.t) (m : Tuner.Search.measured) =
+  Printf.printf "winner[%s] %s  (%.4f ms)\n" arch.Gpu.Arch.name m.cand.desc (m.time_s *. 1000.0)
 
 (* Shared by explore/tune: an optional content-addressed result store,
    the same file format the serve daemon uses, so one-shot CLI sweeps
@@ -86,31 +108,68 @@ let jobs_arg =
 (* ------------------------------------------------------------------ *)
 
 let arch_cmd =
-  let doc = "Print the GeForce 8800 machine model (paper Tables 1 and 2)." in
-  let run () =
-    let l = Gpu.Arch.g80 in
-    print_string
-      (Tuner.Report.table
-         [ "Memory"; "Location"; "Size"; "Latency"; "RO" ]
-         (List.map
-            (fun (m : Gpu.Arch.memory_row) ->
-              [ m.mem_name; m.location; m.size; m.latency; (if m.read_only then "yes" else "no") ])
-            Gpu.Arch.memories));
-    Printf.printf "\n";
+  let doc =
+    "Print one machine model from the registry (default: the paper's GeForce 8800, Tables 1-2)."
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 string Gpu.Arch.g80.Gpu.Arch.name
+      & info [] ~docv:"NAME" ~doc:"Machine model to print (see $(b,gpuopt archs)).")
+  in
+  let run name =
+    let a = resolve_arch name in
+    let l = a.Gpu.Arch.limits and lat = a.Gpu.Arch.latencies in
+    Printf.printf "%s — %s\n\n" a.Gpu.Arch.name a.Gpu.Arch.display;
+    if a.Gpu.Arch.name = Gpu.Arch.g80.Gpu.Arch.name then begin
+      print_string
+        (Tuner.Report.table
+           [ "Memory"; "Location"; "Size"; "Latency"; "RO" ]
+           (List.map
+              (fun (m : Gpu.Arch.memory_row) ->
+                [ m.mem_name; m.location; m.size; m.latency; (if m.read_only then "yes" else "no") ])
+              Gpu.Arch.memories));
+      Printf.printf "\n"
+    end;
     print_string
       (Tuner.Report.table
          [ "Constraint"; "Limit" ]
          [
+           [ "SMs"; string_of_int l.num_sms ];
            [ "Threads per SM"; string_of_int l.max_threads_per_sm ];
            [ "Thread blocks per SM"; string_of_int l.max_blocks_per_sm ];
            [ "32-bit registers per SM"; string_of_int l.regs_per_sm ];
            [ "Shared memory per SM (bytes)"; string_of_int l.smem_per_sm ];
            [ "Threads per block"; string_of_int l.max_threads_per_block ];
+           [ "Shared-memory banks"; string_of_int a.Gpu.Arch.shared_banks ];
+           [ "Issue latency (cycles)"; string_of_int lat.issue ];
+           [ "Global latency (cycles)"; string_of_int lat.global ];
          ]);
-    Printf.printf "\nPeak %.1f GFLOPS, %.1f GB/s global bandwidth, %.2f GHz\n" Gpu.Arch.peak_gflops
-      Gpu.Arch.global_bandwidth_gbs Gpu.Arch.clock_ghz
+    Printf.printf "\nPeak %.1f GFLOPS, %.1f GB/s global bandwidth, %.2f GHz\n"
+      (Gpu.Arch.peak_gflops a) a.Gpu.Arch.global_bandwidth_gbs a.Gpu.Arch.clock_ghz
   in
-  Cmd.v (Cmd.info "arch" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "arch" ~doc) Term.(const run $ name_arg)
+
+let archs_cmd =
+  let doc = "List the machine-model registry, one line per arch." in
+  let run () =
+    print_string
+      (Tuner.Report.table
+         [ "Name"; "Description"; "SMs"; "Banks"; "GHz"; "GFLOPS"; "GB/s" ]
+         (List.map
+            (fun (a : Gpu.Arch.t) ->
+              [
+                a.Gpu.Arch.name;
+                a.Gpu.Arch.display;
+                string_of_int a.Gpu.Arch.limits.num_sms;
+                string_of_int a.Gpu.Arch.shared_banks;
+                Printf.sprintf "%.2f" a.Gpu.Arch.clock_ghz;
+                Printf.sprintf "%.1f" (Gpu.Arch.peak_gflops a);
+                Printf.sprintf "%.1f" a.Gpu.Arch.global_bandwidth_gbs;
+              ])
+            Gpu.Arch.archs))
+  in
+  Cmd.v (Cmd.info "archs" ~doc) Term.(const run $ const ())
 
 let explore_cmd =
   let doc =
@@ -136,13 +195,38 @@ let explore_cmd =
             "Abort the sweep on the first measurement fault instead of recording it and \
              searching over the survivors.")
   in
-  let run (e : Apps.Registry.entry) jobs quick stats checkpoint fail_fast store_file =
+  let run (e : Apps.Registry.entry) jobs quick stats checkpoint fail_fast store_file arch_name =
+    if arch_name = "all" then begin
+      (* Cross-arch sweep: arch is the outer enumeration axis; one
+         engine (and store binding) per arch, then the per-arch winner
+         table and greppable winner lines. *)
+      if checkpoint <> None then begin
+        Printf.eprintf "explore: --checkpoint is per-space; not supported with --arch all\n";
+        exit 2
+      end;
+      let rs =
+        with_store store_file (fun store ->
+            Tuner.Search.run_archs ~jobs ~fail_fast ?store
+              ~store_scale:(if quick then "quick" else "full")
+              ~app_name:e.name ~archs:Gpu.Arch.archs
+              (fun arch -> candidates_of ~arch e quick))
+      in
+      print_string (Tuner.Report.arch_winner_table rs);
+      Printf.printf "\n";
+      List.iter
+        (fun (r : Tuner.Search.arch_result) ->
+          winner_line r.ar_arch r.ar_result.Tuner.Search.selected_best)
+        rs;
+      exit 0
+    end;
+    let arch = resolve_arch arch_name in
     let r =
       try
         with_store store_file (fun store ->
             Tuner.Search.run ~jobs ~fail_fast ?checkpoint ?store
               ~store_scale:(if quick then "quick" else "full")
-              ~app_name:e.name (candidates_of e quick))
+              ~app_name:e.name
+              (candidates_of ~arch e quick))
       with
       | Tuner.Fault.Fail { desc; fault } ->
         Printf.eprintf "fault in %s: %s\n" desc (Tuner.Fault.to_string fault);
@@ -159,6 +243,7 @@ let explore_cmd =
     Printf.printf "\ntrue optimum:   %s  (%.4f ms)\n" r.best.cand.desc (r.best.time_s *. 1000.0);
     Printf.printf "pruned search:  %s  (%.4f ms)\n" r.selected_best.cand.desc
       (r.selected_best.time_s *. 1000.0);
+    winner_line arch r.selected_best;
     if r.faults <> [] then begin
       Printf.printf "\n%d configuration(s) faulted and were excluded:\n"
         (List.length r.faults);
@@ -182,7 +267,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ app_arg $ jobs_arg $ quick_arg $ stats_arg $ checkpoint_arg $ fail_fast_arg
-      $ store_arg)
+      $ store_arg $ arch_name_arg)
 
 let chaos_cmd =
   let doc =
@@ -330,8 +415,23 @@ let tune_cmd =
     "Run the paper's methodology: compile the whole space, compute the static metrics, measure \
      only the Pareto-optimal subset, report the chosen configuration."
   in
-  let run (e : Apps.Registry.entry) jobs quick store_file =
-    let cands = candidates_of e quick in
+  let run (e : Apps.Registry.entry) jobs quick store_file arch_name =
+    if arch_name = "all" then begin
+      with_store store_file (fun store ->
+          List.iter
+            (fun (arch : Gpu.Arch.t) ->
+              let tuned =
+                Tuner.Search.tune_full ~jobs ?store
+                  ~store_scale:(if quick then "quick" else "full")
+                  ~app_name:e.name
+                  (candidates_of ~arch e quick)
+              in
+              winner_line arch tuned.Tuner.Search.chosen)
+            Gpu.Arch.archs);
+      exit 0
+    end;
+    let arch = resolve_arch arch_name in
+    let cands = candidates_of ~arch e quick in
     let tuned =
       with_store store_file (fun store ->
           Tuner.Search.tune_full ~jobs ?store
@@ -352,11 +452,13 @@ let tune_cmd =
         Printf.printf "  candidate %-28s eff=%.3e util=%8.1f\n" c.desc m.efficiency m.utilization)
       selected;
     Printf.printf "chosen: %s (%.4f ms simulated)\n" best.cand.desc (best.time_s *. 1000.0);
+    winner_line arch best;
     if store_file <> None then
       Printf.printf "result store: %d hit(s), %d miss(es)\n" tuned.tune_engine.store_hits
         tuned.tune_engine.store_misses
   in
-  Cmd.v (Cmd.info "tune" ~doc) Term.(const run $ app_arg $ jobs_arg $ quick_arg $ store_arg)
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(const run $ app_arg $ jobs_arg $ quick_arg $ store_arg $ arch_name_arg)
 
 let inspect_cmd =
   let doc =
@@ -456,8 +558,9 @@ let lint_cmd =
       | (arr, _) :: _ -> Kir.Mutate.transpose_store ~array:arr
       | [] -> failwith (wb.Apps.Workbench.wb_app ^ " uses no shared memory; nothing to mutate"))
   in
-  let run (e : Apps.Registry.entry) config mutate crossval =
-    match e.workbench ?config () with
+  let run (e : Apps.Registry.entry) config mutate crossval arch_name =
+    let arch = resolve_arch arch_name in
+    match e.workbench ~arch ?config () with
     | Error msg -> prerr_endline msg; exit 1
     | Ok wb ->
       let report =
@@ -474,7 +577,8 @@ let lint_cmd =
       end;
       if Analysis.Lint.has_errors report then exit 1
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ app_arg $ config_arg $ mutate_arg $ crossval_arg)
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ app_arg $ config_arg $ mutate_arg $ crossval_arg $ arch_name_arg)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minicuda source file")
@@ -668,13 +772,13 @@ let request_cmd =
   let print_row tag (r : Tuner.Proto.measured_row) =
     Printf.printf "%s %s  (%.4f ms simulated)\n" tag r.m_desc (r.m_time_s *. 1000.0)
   in
-  let run socket verb app scale chaos config =
+  let run socket verb app scale chaos config arch =
     let req =
       match verb with
       | "ping" -> Tuner.Proto.Ping
       | "stats" -> Tuner.Proto.Stats
       | "shutdown" -> Tuner.Proto.Shutdown
-      | "tune" -> Tuner.Proto.Tune { app = need_app verb app; scale }
+      | "tune" -> Tuner.Proto.Tune { app = need_app verb app; scale; arch }
       | "explore" ->
         Tuner.Proto.Explore
           {
@@ -682,6 +786,7 @@ let request_cmd =
             scale;
             chaos =
               Option.map (fun (seed, count) -> { Tuner.Proto.ch_seed = seed; ch_count = count }) chaos;
+            arch;
           }
       | "lint" -> Tuner.Proto.Lint { app = need_app verb app; config }
       | _ -> assert false
@@ -702,14 +807,15 @@ let request_cmd =
           s.sv_store_entries
           (if s.sv_store_entries = 1 then "y" else "ies")
       | Tuner.Proto.Tune_r t ->
-        Printf.printf "space: %d configurations, measured only %d (%d run(s), %d store hit(s))\n"
-          t.t_space_size (List.length t.t_selected) t.t_runs t.t_store_hits;
+        Printf.printf
+          "space: %d configurations on %s, measured only %d (%d run(s), %d store hit(s))\n"
+          t.t_space_size t.t_arch (List.length t.t_selected) t.t_runs t.t_store_hits;
         print_row "chosen:" t.t_chosen
       | Tuner.Proto.Explore_r x ->
         Printf.printf
-          "space: %d valid configurations (%d invalid), %d fault(s)\nreduction %.1f%%, optimum \
-           %sselected (%d run(s), %d store hit(s))\n"
-          x.x_space_size x.x_invalid (List.length x.x_faults) (100.0 *. x.x_reduction)
+          "space: %d valid configurations (%d invalid) on %s, %d fault(s)\nreduction %.1f%%, \
+           optimum %sselected (%d run(s), %d store hit(s))\n"
+          x.x_space_size x.x_invalid x.x_arch (List.length x.x_faults) (100.0 *. x.x_reduction)
           (if x.x_optimum_selected then "" else "NOT ")
           x.x_runs x.x_store_hits;
         print_row "true optimum: " x.x_best;
@@ -724,8 +830,14 @@ let request_cmd =
         Printf.eprintf "server error [%s]: %s\n" (Tuner.Proto.error_code_name e_code) e_msg;
         exit 1)
   in
+  let req_arch_arg =
+    let doc = "Target machine model for tune/explore, by registry name (server-validated)." in
+    Arg.(value & opt (some string) None & info [ "arch" ] ~docv:"NAME" ~doc)
+  in
   Cmd.v (Cmd.info "request" ~doc)
-    Term.(const run $ socket_arg $ verb_arg $ req_app_arg $ scale_arg $ chaos_arg $ config_arg)
+    Term.(
+      const run $ socket_arg $ verb_arg $ req_app_arg $ scale_arg $ chaos_arg $ config_arg
+      $ req_arch_arg)
 
 let () =
   let doc = "program optimization space pruning for a multithreaded GPU (CGO'08 reproduction)" in
@@ -734,6 +846,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            arch_cmd; explore_cmd; tune_cmd; inspect_cmd; lint_cmd; compile_cmd; run_cmd;
-            chaos_cmd; serve_cmd; request_cmd;
+            arch_cmd; archs_cmd; explore_cmd; tune_cmd; inspect_cmd; lint_cmd; compile_cmd;
+            run_cmd; chaos_cmd; serve_cmd; request_cmd;
           ]))

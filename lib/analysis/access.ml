@@ -333,6 +333,7 @@ type launch_env = {
   e_grid : int * int;
   e_block : int * int;
   e_base : string -> int;  (* array name -> base *byte* address *)
+  e_banks : int;  (* shared-memory banks of the target arch (16 on G80) *)
 }
 
 let eval_exn aff ~tid_x ~tid_y ~bid_x ~bid_y ~loop =

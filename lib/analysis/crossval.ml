@@ -60,7 +60,7 @@ let run ~(dev : Gpu.Device.t) (inp : Lint.input) : t =
   (* Execute on a clone: cross-validation must not clobber the
      caller's device memory. *)
   let stats =
-    Gpu.Sim.run ~mode:Gpu.Sim.Functional (Gpu.Device.clone dev)
+    Gpu.Sim.run ~mode:Gpu.Sim.Functional ~arch:inp.Lint.li_arch (Gpu.Device.clone dev)
       {
         Gpu.Sim.kernel = ptx;
         grid = inp.Lint.li_grid;

@@ -13,6 +13,7 @@ type input = {
   li_grid : int * int;
   li_block : int * int;
   li_args : (string * Gpu.Sim.arg) list;
+  li_arch : Gpu.Arch.t;  (* machine whose geometry the predictors use *)
 }
 
 type verdict =
@@ -70,6 +71,7 @@ let launch_env (inp : input) : Access.launch_env =
         match Hashtbl.find_opt bases n with
         | Some b -> b
         | None -> raise (Access.Unpredictable (Printf.sprintf "no base address for array %s" n)));
+    e_banks = inp.li_arch.Gpu.Arch.shared_banks;
   }
 
 let kind_str = function `Load -> "load" | `Store -> "store"

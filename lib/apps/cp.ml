@@ -152,24 +152,25 @@ let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
   let grid, block = launch_shape p c in
   { Gpu.Sim.kernel = k; grid; block; args = args_of p }
 
-let analysis_input_of (p : problem) (c : config) : Tuner.Pipeline.analysis_input =
+let analysis_input_of ?(arch = Gpu.Arch.g80) (p : problem) (c : config) :
+    Tuner.Pipeline.analysis_input =
   let grid, block = launch_shape p c in
-  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p }
+  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p; an_arch = arch }
 
 let compile ?(natoms = default_natoms) ?verify ?hook ?analyze (c : config) : Tuner.Pipeline.compiled =
   Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~natoms c)
 
-let candidates ?(npx = default_npx) ?(npy = default_npy) ?(natoms = default_natoms)
-    ?(max_blocks = 8) () : Tuner.Candidate.t list =
+let candidates ?(arch = Gpu.Arch.g80) ?(npx = default_npx) ?(npy = default_npy)
+    ?(natoms = default_natoms) ?(max_blocks = 8) () : Tuner.Candidate.t list =
   let p = setup ~npx ~npy ~natoms () in
-  Tuner.Pipeline.candidates_of_space ~space ~describe ~schedule
+  Tuner.Pipeline.candidates_of_space ~arch ~space ~describe ~schedule
     ~kernel:(fun cfg -> kernel ~natoms cfg)
     ~threads_per_block:(fun cfg -> block_x * cfg.block_y)
     ~threads_total:(fun cfg -> npx / cfg.tiling * npy)
     ~run:(fun cfg ptx () ->
       (* Private device clone: thunks may run on concurrent domains. *)
       let dev = Gpu.Device.clone p.dev in
-      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s)
+      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) ~arch dev (launch_of p cfg ptx)).time_s)
     ()
 
 (* Single-thread CPU reference: the same math with sqrt+divide (the SFU

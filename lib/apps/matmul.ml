@@ -169,9 +169,10 @@ let launch_of (p : problem) (cfg : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
   let grid, block = launch_shape p cfg in
   { Gpu.Sim.kernel = k; grid; block; args = args_of p }
 
-let analysis_input_of (p : problem) (cfg : config) : Tuner.Pipeline.analysis_input =
+let analysis_input_of ?(arch = Gpu.Arch.g80) (p : problem) (cfg : config) :
+    Tuner.Pipeline.analysis_input =
   let grid, block = launch_shape p cfg in
-  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p }
+  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p; an_arch = arch }
 
 (* The one compile entry point: [schedule c] applied to the base kernel
    through the verified pipeline. *)
@@ -181,9 +182,10 @@ let compile ?(n = default_n) ?verify ?hook ?analyze (c : config) : Tuner.Pipelin
 (* Build the full candidate list for the tuner: compile every
    configuration through the pipeline, characterize it statically, and
    provide a simulated measurement thunk. *)
-let candidates ?(n = default_n) ?(max_blocks = 12) () : Tuner.Candidate.t list =
+let candidates ?(arch = Gpu.Arch.g80) ?(n = default_n) ?(max_blocks = 12) () :
+    Tuner.Candidate.t list =
   let p = setup ~n () in
-  Tuner.Pipeline.candidates_of_space ~space ~describe ~schedule
+  Tuner.Pipeline.candidates_of_space ~arch ~space ~describe ~schedule
     ~kernel:(fun cfg -> kernel ~n cfg)
     ~threads_per_block:(fun cfg -> cfg.tile * cfg.tile)
     ~threads_total:(fun cfg -> n / cfg.rect * n)
@@ -191,7 +193,7 @@ let candidates ?(n = default_n) ?(max_blocks = 12) () : Tuner.Candidate.t list =
       (* Run against a private clone of the staged device: measurement
          thunks may execute on concurrent domains (Search ~jobs). *)
       let dev = Gpu.Device.clone p.dev in
-      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s)
+      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) ~arch dev (launch_of p cfg ptx)).time_s)
     ()
 
 (* Single-thread CPU reference (binary32 semantics, same accumulation

@@ -178,25 +178,26 @@ let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
   let grid, block = launch_shape p c in
   { Gpu.Sim.kernel = k; grid; block; args = args_of p }
 
-let analysis_input_of (p : problem) (c : config) : Tuner.Pipeline.analysis_input =
+let analysis_input_of ?(arch = Gpu.Arch.g80) (p : problem) (c : config) :
+    Tuner.Pipeline.analysis_input =
   let grid, block = launch_shape p c in
-  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p }
+  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p; an_arch = arch }
 
 let compile ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?verify ?hook ?analyze
     (c : config) : Tuner.Pipeline.compiled =
   Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~nsamples ~nvox c)
 
-let candidates ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?(max_blocks = 3) () :
-    Tuner.Candidate.t list =
+let candidates ?(arch = Gpu.Arch.g80) ?(nsamples = default_nsamples) ?(nvox = default_nvox)
+    ?(max_blocks = 3) () : Tuner.Candidate.t list =
   let p = setup ~nsamples ~nvox () in
-  Tuner.Pipeline.candidates_of_space ~space ~describe ~schedule
+  Tuner.Pipeline.candidates_of_space ~arch ~space ~describe ~schedule
     ~kernel:(fun cfg -> kernel ~nsamples ~nvox cfg)
     ~threads_per_block:(fun cfg -> cfg.tpb)
     ~threads_total:(fun cfg -> Util.Stats.cdiv (nvox / cfg.wpt) cfg.tpb * cfg.tpb)
     ~run:(fun cfg ptx () ->
       (* Private device clone: thunks may run on concurrent domains. *)
       let dev = Gpu.Device.clone p.dev in
-      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s)
+      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) ~arch dev (launch_of p cfg ptx)).time_s)
     ()
 
 (* Single-thread CPU reference. *)

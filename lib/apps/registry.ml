@@ -16,9 +16,11 @@ type entry = {
   constraints : string list;
   cardinality : int;  (* after validity constraints; Table 4 *)
   configs : string list Lazy.t;  (* all descriptions, enumeration order *)
-  candidates : unit -> Tuner.Candidate.t list;  (* paper-scale problem *)
-  quick_candidates : unit -> Tuner.Candidate.t list;  (* tiny smoke-test problem *)
-  bench_candidates : unit -> Tuner.Candidate.t list;  (* bench-harness problem *)
+  candidates : ?arch:Gpu.Arch.t -> unit -> Tuner.Candidate.t list;  (* paper-scale problem *)
+  quick_candidates : ?arch:Gpu.Arch.t -> unit -> Tuner.Candidate.t list;
+      (* tiny smoke-test problem *)
+  bench_candidates : ?arch:Gpu.Arch.t -> unit -> Tuner.Candidate.t list;
+      (* bench-harness problem *)
   compile :
     ?verify:bool ->
     ?hook:(Tuner.Pipeline.stat -> unit) ->
@@ -26,7 +28,7 @@ type entry = {
     string ->
     (Tuner.Pipeline.compiled, string) result;
       (* compile one configuration, selected by its description *)
-  workbench : ?config:string -> unit -> (Workbench.t, string) result;
+  workbench : ?arch:Gpu.Arch.t -> ?config:string -> unit -> (Workbench.t, string) result;
       (* quick-scale problem + compiled default (or named) config, for
          the static analyzer and its cross-validation harness *)
 }
@@ -62,40 +64,40 @@ let matmul =
     ~title:"dense matrix multiplication (paper's running example, Figure 3)" ~space:Matmul.space
     ~describe:Matmul.describe
     ~compile:(fun ?verify ?hook ?analyze c -> Matmul.compile ?verify ?hook ?analyze c)
-    ~workbench:(fun ?config () -> Workbench.matmul ?config ())
-    ~candidates:(fun () -> Matmul.candidates ())
-    ~quick:(fun () -> Matmul.candidates ~n:64 ~max_blocks:2 ())
-    ~bench:(fun () -> Matmul.candidates ~n:256 ~max_blocks:8 ())
+    ~workbench:(fun ?arch ?config () -> Workbench.matmul ?arch ?config ())
+    ~candidates:(fun ?arch () -> Matmul.candidates ?arch ())
+    ~quick:(fun ?arch () -> Matmul.candidates ?arch ~n:64 ~max_blocks:2 ())
+    ~bench:(fun ?arch () -> Matmul.candidates ?arch ~n:256 ~max_blocks:8 ())
     ()
 
 let cp =
   entry ~name:"cp" ~display:"CP" ~title:"coulombic potential over a grid slice (Figure 5)"
     ~space:Cp.space ~describe:Cp.describe
     ~compile:(fun ?verify ?hook ?analyze c -> Cp.compile ?verify ?hook ?analyze c)
-    ~workbench:(fun ?config () -> Workbench.cp ?config ())
-    ~candidates:(fun () -> Cp.candidates ())
-    ~quick:(fun () -> Cp.candidates ~npx:256 ~npy:16 ~natoms:16 ~max_blocks:2 ())
-    ~bench:(fun () -> Cp.candidates ())
+    ~workbench:(fun ?arch ?config () -> Workbench.cp ?arch ?config ())
+    ~candidates:(fun ?arch () -> Cp.candidates ?arch ())
+    ~quick:(fun ?arch () -> Cp.candidates ?arch ~npx:256 ~npy:16 ~natoms:16 ~max_blocks:2 ())
+    ~bench:(fun ?arch () -> Cp.candidates ?arch ())
     ()
 
 let sad =
   entry ~name:"sad" ~display:"SAD" ~title:"sums of absolute differences for motion estimation (Figure 4)"
     ~space:Sad.space ~describe:Sad.describe
     ~compile:(fun ?verify ?hook ?analyze c -> Sad.compile ?verify ?hook ?analyze c)
-    ~workbench:(fun ?config () -> Workbench.sad ?config ())
-    ~candidates:(fun () -> Sad.candidates ())
-    ~quick:(fun () -> Sad.candidates ~w:32 ~h:16 ~sr:2 ~max_blocks:2 ())
-    ~bench:(fun () -> Sad.candidates ())
+    ~workbench:(fun ?arch ?config () -> Workbench.sad ?arch ?config ())
+    ~candidates:(fun ?arch () -> Sad.candidates ?arch ())
+    ~quick:(fun ?arch () -> Sad.candidates ?arch ~w:32 ~h:16 ~sr:2 ~max_blocks:2 ())
+    ~bench:(fun ?arch () -> Sad.candidates ?arch ())
     ()
 
 let mri_fhd =
   entry ~name:"mri" ~display:"MRI-FHD" ~title:"F^H d for non-Cartesian MRI reconstruction (Figure 6(b))"
     ~space:Mri_fhd.space ~describe:Mri_fhd.describe
     ~compile:(fun ?verify ?hook ?analyze c -> Mri_fhd.compile ?verify ?hook ?analyze c)
-    ~workbench:(fun ?config () -> Workbench.mri ?config ())
-    ~candidates:(fun () -> Mri_fhd.candidates ())
-    ~quick:(fun () -> Mri_fhd.candidates ~nsamples:8 ~nvox:3360 ~max_blocks:1 ())
-    ~bench:(fun () -> Mri_fhd.candidates ())
+    ~workbench:(fun ?arch ?config () -> Workbench.mri ?arch ?config ())
+    ~candidates:(fun ?arch () -> Mri_fhd.candidates ?arch ())
+    ~quick:(fun ?arch () -> Mri_fhd.candidates ?arch ~nsamples:8 ~nvox:3360 ~max_blocks:1 ())
+    ~bench:(fun ?arch () -> Mri_fhd.candidates ?arch ())
     ()
 
 (* Enumeration order is the paper's Table 4 order. *)

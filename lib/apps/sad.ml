@@ -216,27 +216,28 @@ let launch_of (p : problem) (c : config) (k : Ptx.Prog.t) : Gpu.Sim.launch =
   let grid, block = launch_shape p c in
   { Gpu.Sim.kernel = k; grid; block; args = args_of p }
 
-let analysis_input_of (p : problem) (c : config) : Tuner.Pipeline.analysis_input =
+let analysis_input_of ?(arch = Gpu.Arch.g80) (p : problem) (c : config) :
+    Tuner.Pipeline.analysis_input =
   let grid, block = launch_shape p c in
-  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p }
+  { Tuner.Pipeline.an_grid = grid; an_block = block; an_args = args_of p; an_arch = arch }
 
 let compile ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?verify ?hook ?analyze
     (c : config) : Tuner.Pipeline.compiled =
   Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~w ~h ~sr c)
 
-let candidates ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?(max_blocks = 8) () :
-    Tuner.Candidate.t list =
+let candidates ?(arch = Gpu.Arch.g80) ?(w = default_w) ?(h = default_h) ?(sr = default_sr)
+    ?(max_blocks = 8) () : Tuner.Candidate.t list =
   let p = setup ~w ~h ~sr () in
   let nvec = 4 * sr * sr in
   let mbs = w / mb * (h / mb) in
-  Tuner.Pipeline.candidates_of_space ~space ~describe ~schedule
+  Tuner.Pipeline.candidates_of_space ~arch ~space ~describe ~schedule
     ~kernel:(fun cfg -> kernel ~w ~h ~sr cfg)
     ~threads_per_block:(fun cfg -> cfg.tpb)
     ~threads_total:(fun cfg -> mbs * Util.Stats.cdiv nvec (cfg.tpb * cfg.tiling) * cfg.tpb)
     ~run:(fun cfg ptx () ->
       (* Private device clone: thunks may run on concurrent domains. *)
       let dev = Gpu.Device.clone p.dev in
-      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) dev (launch_of p cfg ptx)).time_s)
+      (Gpu.Sim.run ~mode:(Gpu.Sim.Timing { max_blocks }) ~arch dev (launch_of p cfg ptx)).time_s)
     ()
 
 (* Single-thread CPU reference. *)

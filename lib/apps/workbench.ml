@@ -18,6 +18,7 @@ type t = {
   wb_grid : int * int;
   wb_block : int * int;
   wb_args : (string * Gpu.Sim.arg) list;
+  wb_arch : Gpu.Arch.t;  (* machine the analysis ran against *)
   wb_compiled : Tuner.Pipeline.compiled;  (* lint = Some _ *)
 }
 
@@ -29,6 +30,7 @@ let lint_input ?name (wb : t) : Analysis.Lint.input =
     li_grid = wb.wb_grid;
     li_block = wb.wb_block;
     li_args = wb.wb_args;
+    li_arch = wb.wb_arch;
   }
 
 (* The lint report the pipeline's analyze stage produced. *)
@@ -69,12 +71,12 @@ let resolve (type c) (space : c Tuner.Space.t) (describe : c -> string) (config 
     | Some c -> Ok c
     | None -> Error (Printf.sprintf "no configuration %S" d))
 
-let matmul ?config () : (t, string) result =
+let matmul ?arch ?config () : (t, string) result =
   Result.map
     (fun cfg ->
       let n = 64 in
       let p = Matmul.setup ~n () in
-      let ai = Matmul.analysis_input_of p cfg in
+      let ai = Matmul.analysis_input_of ?arch p cfg in
       let c = Matmul.compile ~n ~analyze:ai cfg in
       {
         wb_app = "matmul";
@@ -84,16 +86,17 @@ let matmul ?config () : (t, string) result =
         wb_grid = ai.Tuner.Pipeline.an_grid;
         wb_block = ai.Tuner.Pipeline.an_block;
         wb_args = ai.Tuner.Pipeline.an_args;
+        wb_arch = ai.Tuner.Pipeline.an_arch;
         wb_compiled = c;
       })
     (resolve Matmul.space Matmul.describe config)
 
-let cp ?config () : (t, string) result =
+let cp ?arch ?config () : (t, string) result =
   Result.map
     (fun cfg ->
       let natoms = 16 in
       let p = Cp.setup ~npx:256 ~npy:16 ~natoms () in
-      let ai = Cp.analysis_input_of p cfg in
+      let ai = Cp.analysis_input_of ?arch p cfg in
       let c = Cp.compile ~natoms ~analyze:ai cfg in
       {
         wb_app = "cp";
@@ -103,16 +106,17 @@ let cp ?config () : (t, string) result =
         wb_grid = ai.Tuner.Pipeline.an_grid;
         wb_block = ai.Tuner.Pipeline.an_block;
         wb_args = ai.Tuner.Pipeline.an_args;
+        wb_arch = ai.Tuner.Pipeline.an_arch;
         wb_compiled = c;
       })
     (resolve Cp.space Cp.describe config)
 
-let sad ?config () : (t, string) result =
+let sad ?arch ?config () : (t, string) result =
   Result.map
     (fun cfg ->
       let w = 32 and h = 16 and sr = 2 in
       let p = Sad.setup ~w ~h ~sr () in
-      let ai = Sad.analysis_input_of p cfg in
+      let ai = Sad.analysis_input_of ?arch p cfg in
       let c = Sad.compile ~w ~h ~sr ~analyze:ai cfg in
       {
         wb_app = "sad";
@@ -122,16 +126,17 @@ let sad ?config () : (t, string) result =
         wb_grid = ai.Tuner.Pipeline.an_grid;
         wb_block = ai.Tuner.Pipeline.an_block;
         wb_args = ai.Tuner.Pipeline.an_args;
+        wb_arch = ai.Tuner.Pipeline.an_arch;
         wb_compiled = c;
       })
     (resolve Sad.space Sad.describe config)
 
-let mri ?config () : (t, string) result =
+let mri ?arch ?config () : (t, string) result =
   Result.map
     (fun cfg ->
       let nsamples = 8 and nvox = 3360 in
       let p = Mri_fhd.setup ~nsamples ~nvox () in
-      let ai = Mri_fhd.analysis_input_of p cfg in
+      let ai = Mri_fhd.analysis_input_of ?arch p cfg in
       let c = Mri_fhd.compile ~nsamples ~nvox ~analyze:ai cfg in
       {
         wb_app = "mri";
@@ -141,6 +146,7 @@ let mri ?config () : (t, string) result =
         wb_grid = ai.Tuner.Pipeline.an_grid;
         wb_block = ai.Tuner.Pipeline.an_block;
         wb_args = ai.Tuner.Pipeline.an_args;
+        wb_arch = ai.Tuner.Pipeline.an_arch;
         wb_compiled = c;
       })
     (resolve Mri_fhd.space Mri_fhd.describe config)

@@ -12,34 +12,37 @@ type t = {
   desc : string;  (* short human-readable description, e.g. "16x16/1x4/u4/pf" *)
   params : (string * string) list;  (* axis name -> value, for reports *)
   kernel : Ptx.Prog.t;  (* optimized PTX *)
+  arch : Gpu.Arch.t;  (* machine model this candidate targets *)
   threads_per_block : int;
   threads_total : int;  (* the metric's Threads term *)
   profile : Ptx.Count.profile;
   resource : Ptx.Resource.t;
-  occupancy : Gpu.Arch.occupancy;
+  occupancy : Gpu.Arch.occupancy;  (* on [arch] *)
   valid : bool;  (* compiles and at least one block fits an SM *)
   invalid_reason : string option;
   run : unit -> float;  (* simulated execution time, seconds (expensive) *)
 }
 
 (* Characterize a compiled kernel; [run] must produce the simulated
-   wall-clock the paper would obtain from a real execution.  When the
-   pipeline already characterized the kernel, pass [?resource] and
+   wall-clock the paper would obtain from a real execution — on the
+   same [arch] the occupancy and validity are judged against.  When
+   the pipeline already characterized the kernel, pass [?resource] and
    [?profile] to avoid recomputing them. *)
-let make ~desc ~params ~kernel ?resource ?profile ~threads_per_block ~threads_total ~run () : t =
+let make ?(arch = Gpu.Arch.g80) ~desc ~params ~kernel ?resource ?profile ~threads_per_block
+    ~threads_total ~run () : t =
   let resource =
     match resource with Some r -> r | None -> Ptx.Resource.of_kernel kernel
   in
   let profile = match profile with Some p -> p | None -> Ptx.Count.profile_of kernel in
   let occupancy =
-    Gpu.Arch.occupancy ~threads_per_block ~regs_per_thread:resource.regs_per_thread
+    Gpu.Arch.occupancy ~arch ~threads_per_block ~regs_per_thread:resource.regs_per_thread
       ~smem_per_block:resource.smem_bytes_per_block ()
   in
   let valid, invalid_reason =
-    if threads_per_block > Gpu.Arch.g80.max_threads_per_block then
-      (false, Some "block exceeds 512 threads")
-    else if resource.smem_bytes_per_block > Gpu.Arch.g80.smem_per_sm then
-      (false, Some "shared memory exceeds 16KB")
+    if threads_per_block > arch.limits.max_threads_per_block then
+      (false, Some (Printf.sprintf "block exceeds %d threads" arch.limits.max_threads_per_block))
+    else if resource.smem_bytes_per_block > arch.limits.smem_per_sm then
+      (false, Some (Printf.sprintf "shared memory exceeds %dKB" (arch.limits.smem_per_sm / 1024)))
     else if not (Gpu.Arch.is_valid occupancy) then
       (false, Some (Printf.sprintf "invalid executable: 0 blocks fit (%s)" occupancy.limiter))
     else (true, None)
@@ -48,6 +51,7 @@ let make ~desc ~params ~kernel ?resource ?profile ~threads_per_block ~threads_to
     desc;
     params;
     kernel;
+    arch;
     threads_per_block;
     threads_total;
     profile;

@@ -29,16 +29,25 @@ let of_candidate (c : Candidate.t) : t =
 
 (* Bandwidth screen (section 4): estimated bytes per cycle demanded of
    off-chip memory when compute resources run at full tilt.  With all
-   SMs issuing one warp-instruction per 4 cycles, a kernel whose
+   SMs issuing one warp-instruction per [issue] cycles, a kernel whose
    dynamic instruction stream transfers [global_bytes] bytes over
    [instr] instructions demands
-       bytes/cycle/SM = global_bytes/thread / (instr/thread) * 32 / 4
-   against a budget of 4 bytes/cycle/SM. *)
+       bytes/cycle/SM = global_bytes/thread / (instr/thread) * warp / issue
+   against the arch's sustainable bytes/cycle/SM (4 on the G80 at
+   32 threads per 4-cycle issue).  Both sides come from the
+   candidate's own arch, so the screen is meaningful on every registry
+   machine, not just the G80. *)
 let demanded_bytes_per_cycle_per_sm (c : Candidate.t) : float =
   if c.profile.instr <= 0.0 then 0.0
-  else c.profile.global_bytes /. c.profile.instr *. 32.0 /. float_of_int Gpu.Arch.g80_latencies.issue
+  else
+    c.profile.global_bytes /. c.profile.instr
+    *. float_of_int c.arch.Gpu.Arch.limits.warp_size
+    /. float_of_int c.arch.Gpu.Arch.latencies.issue
 
-let bandwidth_bound ?(budget = Gpu.Arch.bytes_per_cycle_per_sm) (c : Candidate.t) : bool =
+let bandwidth_bound ?budget (c : Candidate.t) : bool =
+  let budget =
+    match budget with Some b -> b | None -> Gpu.Arch.bytes_per_cycle_per_sm c.arch
+  in
   demanded_bytes_per_cycle_per_sm c > budget
 
 (* Normalize a list of metric points so each axis has maximum 1 (the

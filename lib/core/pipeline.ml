@@ -83,6 +83,7 @@ type analysis_input = {
   an_grid : int * int;
   an_block : int * int;
   an_args : (string * Gpu.Sim.arg) list;
+  an_arch : Gpu.Arch.t;  (* machine whose geometry the predictors use *)
 }
 
 (* The historical name; the exception itself lives in [Fault] (with its
@@ -214,6 +215,7 @@ let compile ?(verify = true) ?hook ?analyze (sched : schedule) (kernel : Kir.Ast
             li_grid = a.an_grid;
             li_block = a.an_block;
             li_args = a.an_args;
+            li_arch = a.an_arch;
           }
       in
       let nsites = List.length r.Analysis.Lint.r_sites in
@@ -262,15 +264,18 @@ let lower_opt ?verify ?hook ?analyze (k : Kir.Ast.kernel) : compiled =
 
 (* Compile every point of a space into a characterized candidate.  The
    parameter lists come from the space's axes, the kernel and schedule
-   from the per-config closures; enumeration order is the space's. *)
-let candidates_of_space ?verify ?hook ~(space : 'a Space.t) ~(describe : 'a -> string)
+   from the per-config closures; enumeration order is the space's.
+   [?arch] is the machine the candidates target — it sets occupancy,
+   validity and the metrics' machine terms, and the [run] closure must
+   launch on the same machine (the apps thread it into [Gpu.Sim.run]). *)
+let candidates_of_space ?verify ?hook ?arch ~(space : 'a Space.t) ~(describe : 'a -> string)
     ~(kernel : 'a -> Kir.Ast.kernel) ~(schedule : 'a -> schedule)
     ~(threads_per_block : 'a -> int) ~(threads_total : 'a -> int)
     ~(run : 'a -> Ptx.Prog.t -> unit -> float) () : Candidate.t list =
   List.map
     (fun (cfg, params) ->
       let c = compile ?verify ?hook (schedule cfg) (kernel cfg) in
-      Candidate.make ~desc:(describe cfg) ~params ~kernel:c.ptx ~resource:c.resource
+      Candidate.make ?arch ~desc:(describe cfg) ~params ~kernel:c.ptx ~resource:c.resource
         ~profile:c.profile
         ~threads_per_block:(threads_per_block cfg)
         ~threads_total:(threads_total cfg) ~run:(run cfg c.ptx) ())

@@ -94,13 +94,16 @@ let scale_of_name = function
 
 type chaos_spec = { ch_seed : int; ch_count : int }
 
+(* [arch] names a registry machine model ([Gpu.Arch.find]); [None]
+   means the default G80, and is what pre-registry clients send — the
+   field is simply absent from their frames. *)
 type request =
   | Ping
   | Stats  (* server counters *)
   | Shutdown
-  | Tune of { app : string; scale : scale }
+  | Tune of { app : string; scale : scale; arch : string option }
       (* the paper's methodology: measure only the Pareto subset *)
-  | Explore of { app : string; scale : scale; chaos : chaos_spec option }
+  | Explore of { app : string; scale : scale; chaos : chaos_spec option; arch : string option }
       (* exhaustive vs pruned sweep; [chaos] injects seeded faults *)
   | Lint of { app : string; config : string option }
 
@@ -113,6 +116,7 @@ type fault_row = { f_desc : string; f_fault : string }
 
 type tune_reply = {
   t_app : string;
+  t_arch : string;  (* registry name the measurements were taken on *)
   t_space_size : int;
   t_chosen : measured_row;
   t_selected : string list;  (* Pareto-selected descs, space order *)
@@ -122,6 +126,7 @@ type tune_reply = {
 
 type explore_reply = {
   x_app : string;
+  x_arch : string;  (* registry name the measurements were taken on *)
   x_space_size : int;
   x_invalid : int;
   x_best : measured_row;
@@ -197,11 +202,14 @@ let encode_request (r : request) : string =
     | Ping -> Obj [ ("type", Str "ping") ]
     | Stats -> Obj [ ("type", Str "stats") ]
     | Shutdown -> Obj [ ("type", Str "shutdown") ]
-    | Tune { app; scale } ->
-      Obj [ ("type", Str "tune"); ("app", Str app); ("scale", Str (scale_name scale)) ]
-    | Explore { app; scale; chaos } ->
+    | Tune { app; scale; arch } ->
+      Obj
+        ([ ("type", Str "tune"); ("app", Str app); ("scale", Str (scale_name scale)) ]
+        @ match arch with None -> [] | Some a -> [ ("arch", Str a) ])
+    | Explore { app; scale; chaos; arch } ->
       Obj
         ([ ("type", Str "explore"); ("app", Str app); ("scale", Str (scale_name scale)) ]
+        @ (match arch with None -> [] | Some a -> [ ("arch", Str a) ])
         @
         match chaos with
         | None -> []
@@ -236,6 +244,7 @@ let encode_response (r : response) : string =
         [
           ("type", Str "tune");
           ("app", Str t.t_app);
+          ("arch", Str t.t_arch);
           ("space_size", Int t.t_space_size);
           ("chosen", jrow t.t_chosen);
           ("selected", List (List.map (fun d -> Str d) t.t_selected));
@@ -247,6 +256,7 @@ let encode_response (r : response) : string =
         [
           ("type", Str "explore");
           ("app", Str x.x_app);
+          ("arch", Str x.x_arch);
           ("space_size", Int x.x_space_size);
           ("invalid", Int x.x_invalid);
           ("best", jrow x.x_best);
@@ -321,6 +331,19 @@ let str_item = function
   | Util.Json.Str s -> s
   | _ -> shape "array item is not a string"
 
+(* Optional string field — absent means [None], non-string is a shape
+   error (used for the arch name and the lint config). *)
+let opt_str_field (v : Util.Json.t) (k : string) : string option =
+  match Util.Json.member k v with
+  | None -> None
+  | Some (Str s) -> Some s
+  | Some _ -> shape "field %S is not a string" k
+
+(* Reply-side arch name: replies from pre-registry servers carry no
+   arch field and are, by construction, G80 measurements. *)
+let arch_field (v : Util.Json.t) : string =
+  match opt_str_field v "arch" with Some a -> a | None -> "g80"
+
 let decode (what : string) (of_json : Util.Json.t -> 'a) (text : string) :
     ('a, decode_error) result =
   match Util.Json.of_string text with
@@ -335,22 +358,17 @@ let request_of_json (v : Util.Json.t) : request =
   | "ping" -> Ping
   | "stats" -> Stats
   | "shutdown" -> Shutdown
-  | "tune" -> Tune { app = str_field v "app"; scale = scale_field v }
+  | "tune" ->
+    Tune { app = str_field v "app"; scale = scale_field v; arch = opt_str_field v "arch" }
   | "explore" ->
     let chaos =
       match Util.Json.member "chaos" v with
       | None -> None
       | Some c -> Some { ch_seed = int_field c "seed"; ch_count = int_field c "count" }
     in
-    Explore { app = str_field v "app"; scale = scale_field v; chaos }
-  | "lint" ->
-    let config =
-      match Util.Json.member "config" v with
-      | None -> None
-      | Some (Str s) -> Some s
-      | Some _ -> shape "field \"config\" is not a string"
-    in
-    Lint { app = str_field v "app"; config }
+    Explore
+      { app = str_field v "app"; scale = scale_field v; chaos; arch = opt_str_field v "arch" }
+  | "lint" -> Lint { app = str_field v "app"; config = opt_str_field v "config" }
   | t -> shape "unknown request type %S" t
 
 let response_of_json (v : Util.Json.t) : response =
@@ -376,6 +394,7 @@ let response_of_json (v : Util.Json.t) : response =
     Tune_r
       {
         t_app = str_field v "app";
+        t_arch = arch_field v;
         t_space_size = int_field v "space_size";
         t_chosen = chosen;
         t_selected = List.map str_item (list_field v "selected");
@@ -389,6 +408,7 @@ let response_of_json (v : Util.Json.t) : response =
     Explore_r
       {
         x_app = str_field v "app";
+        x_arch = arch_field v;
         x_space_size = int_field v "space_size";
         x_invalid = int_field v "invalid";
         x_best = sub "best";

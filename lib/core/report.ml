@@ -181,3 +181,28 @@ let fault_table (faults : (Candidate.t * Fault.t) list) : string =
     (List.map
        (fun ((c : Candidate.t), f) -> [ c.desc; Fault.tag f; first_line (Fault.to_string f) ])
        faults)
+
+(* ------------------------------------------------------------------ *)
+(* Per-arch winner table                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per machine model of a cross-arch sweep: the pruned
+   search's choice and the true optimum on that machine, with the
+   space statistics that explain why they differ across machines
+   (validity and occupancy shift with the limits). *)
+let arch_winner_table (rs : Search.arch_result list) : string =
+  table
+    [ "Arch"; "Valid"; "Invalid"; "Selected"; "Pruned winner"; "Time"; "True optimum"; "Time" ]
+    (List.map
+       (fun ({ ar_arch; ar_result = r } : Search.arch_result) ->
+         [
+           ar_arch.Gpu.Arch.name;
+           string_of_int r.space_size;
+           string_of_int r.invalid;
+           string_of_int (List.length r.selected);
+           r.selected_best.cand.desc;
+           Printf.sprintf "%.4f ms" (r.selected_best.time_s *. 1000.0);
+           r.best.cand.desc;
+           Printf.sprintf "%.4f ms" (r.best.time_s *. 1000.0);
+         ])
+       rs)

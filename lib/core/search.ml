@@ -57,16 +57,28 @@ type result = {
 
 let measure (c : Candidate.t) : measured = { cand = c; time_s = c.run () }
 
+(* The machine model a candidate list targets.  Candidate lists are
+   homogeneous in arch (a sweep is per machine; [run_archs] builds one
+   list per registry entry), so the first candidate speaks for all. *)
+let arch_of (cands : Candidate.t list) : Gpu.Arch.t =
+  match cands with c :: _ -> c.arch | [] -> Gpu.Arch.g80
+
 (* Identity of a candidate space, for checkpoint journals: an app name
-   plus the descs of its valid configurations, digested.  Resuming
-   against a journal written for a different space (the app changed, a
-   flag altered the candidate set) must fail loudly, not silently mix
-   measurements. *)
+   plus the descs of its valid configurations, digested — with the
+   arch name mixed in when the space targets a non-default machine, so
+   a G80 journal can never resume a wide32 sweep.  G80 spaces hash
+   exactly as they did before the machine model became a value, so
+   existing journals stay resumable. *)
 let space_key ~(app_name : string) (cands : Candidate.t list) : string =
   let descs =
     List.filter_map (fun (c : Candidate.t) -> if c.valid then Some c.desc else None) cands
   in
-  Digest.to_hex (Digest.string (String.concat "\n" (app_name :: descs)))
+  let arch = arch_of cands in
+  let tagged =
+    if arch.Gpu.Arch.name = Gpu.Arch.g80.Gpu.Arch.name then app_name :: descs
+    else app_name :: ("arch:" ^ arch.Gpu.Arch.name) :: descs
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" tagged))
 
 (* Bind a content-addressed result store to a measurement engine.  The
    key function defaults to [Store.candidate_key] over the current
@@ -85,7 +97,7 @@ let bind_store engine ~(app_name : string) (cands : Candidate.t list) ~store ~st
       match store_key with
       | Some k -> k
       | None ->
-        let arch = Store.arch_digest () in
+        let arch = Store.arch_digest ~arch:(arch_of cands) () in
         let scale = Option.value store_scale ~default:"full" in
         let descs =
           List.filter_map
@@ -279,3 +291,44 @@ let tune ?jobs ~(app_name : string) (cands : Candidate.t list) :
     measured * (Candidate.t * Metrics.t) list =
   let r = tune_full ?jobs ~app_name cands in
   (r.chosen, r.considered)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-arch sweeps                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One registry machine's sweep within a cross-arch run. *)
+type arch_result = { ar_arch : Gpu.Arch.t; ar_result : result }
+
+(* Sweep one app across several machine models: the arch is a genuine
+   enumerable axis ([Space.axis] over the registry values), and each
+   point of that axis runs the full exhaustive-vs-pruned search on
+   candidates compiled *for that machine* — occupancy, validity,
+   metrics and simulated times all come from the arch the candidate
+   carries.  Each arch gets its own measurement engine (the engine's
+   memo key is the candidate desc, which repeats across arches) and
+   its own store keys (the arch digest differs), so distinct machines
+   can never exchange measurements.  Archs run sequentially in
+   registry order; [?jobs] parallelizes within each arch's sweep, so
+   results are bit-identical for every jobs value. *)
+let run_archs ?jobs ?fail_fast ?store ?store_scale ~(app_name : string)
+    ~(archs : Gpu.Arch.t list) (candidates_of : Gpu.Arch.t -> Candidate.t list) :
+    arch_result list =
+  if archs = [] then invalid_arg (app_name ^ ": empty arch list");
+  let axis = Space.axis ~name:"arch" ~show:(fun (a : Gpu.Arch.t) -> a.name) archs in
+  List.map
+    (fun (arch : Gpu.Arch.t) ->
+      let cands = candidates_of arch in
+      (match List.find_opt (fun (c : Candidate.t) -> c.arch.name <> arch.name) cands with
+      | Some c ->
+        invalid_arg
+          (Printf.sprintf "%s: candidate %s targets arch %s inside the %s sweep" app_name
+             c.desc c.arch.name arch.name)
+      | None -> ());
+      let r = run ?jobs ?fail_fast ?store ?store_scale ~app_name cands in
+      { ar_arch = arch; ar_result = r })
+    (Space.configs axis)
+
+(* The per-arch winner table's raw rows: (arch, pruned-search choice,
+   true optimum) per machine. *)
+let winners (rs : arch_result list) : (Gpu.Arch.t * measured * measured) list =
+  List.map (fun r -> (r.ar_arch, r.ar_result.selected_best, r.ar_result.best)) rs

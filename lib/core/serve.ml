@@ -50,11 +50,19 @@ type resolved_space = {
 type resolver = {
   rv_apps : string list;  (* known application names, for error text *)
   rv_space :
-    app:string -> scale:Proto.scale -> (resolved_space, Proto.error_code * string) result;
+    app:string ->
+    scale:Proto.scale ->
+    arch:string ->
+    (resolved_space, Proto.error_code * string) result;
+      (* [arch] is a registry machine name; an unknown one is a
+         [Bad_request] naming the known models *)
   rv_lint :
     app:string -> config:string option -> (string * bool, Proto.error_code * string) result;
       (* lint report text and whether it contains errors *)
 }
+
+(* Requests that omit the arch field target the default machine. *)
+let default_arch_name = Gpu.Arch.g80.Gpu.Arch.name
 
 (* ------------------------------------------------------------------ *)
 (* Server state                                                        *)
@@ -117,8 +125,9 @@ let row_of_measured (m : Search.measured) : Proto.measured_row =
 
 let descs_of sel = List.map (fun ((c : Candidate.t), _) -> c.desc) sel
 
-let handle_tune t ~app ~scale : Proto.response =
-  match t.resolver.rv_space ~app ~scale with
+let handle_tune t ~app ~scale ~(arch : string option) : Proto.response =
+  let arch = Option.value arch ~default:default_arch_name in
+  match t.resolver.rv_space ~app ~scale ~arch with
   | Error (e_code, e_msg) -> Error_r { e_code; e_msg }
   | Ok sp ->
     let r =
@@ -129,6 +138,7 @@ let handle_tune t ~app ~scale : Proto.response =
     Tune_r
       {
         t_app = app;
+        t_arch = arch;
         t_space_size = r.tune_space_size;
         t_chosen = row_of_measured r.chosen;
         t_selected = descs_of r.considered;
@@ -136,8 +146,10 @@ let handle_tune t ~app ~scale : Proto.response =
         t_store_hits = r.tune_engine.store_hits;
       }
 
-let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) : Proto.response =
-  match t.resolver.rv_space ~app ~scale with
+let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) ~(arch : string option) :
+    Proto.response =
+  let arch = Option.value arch ~default:default_arch_name in
+  match t.resolver.rv_space ~app ~scale ~arch with
   | Error (e_code, e_msg) -> Error_r { e_code; e_msg }
   | Ok sp ->
     let r =
@@ -156,6 +168,7 @@ let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) : Proto.resp
     Explore_r
       {
         x_app = app;
+        x_arch = arch;
         x_space_size = r.space_size;
         x_invalid = r.invalid;
         x_best = row_of_measured r.best;
@@ -185,8 +198,8 @@ let handle t (req : Proto.request) : Proto.response =
       | Proto.Shutdown ->
         request_stop t;
         Bye
-      | Proto.Tune { app; scale } -> handle_tune t ~app ~scale
-      | Proto.Explore { app; scale; chaos } -> handle_explore t ~app ~scale ~chaos
+      | Proto.Tune { app; scale; arch } -> handle_tune t ~app ~scale ~arch
+      | Proto.Explore { app; scale; chaos; arch } -> handle_explore t ~app ~scale ~chaos ~arch
       | Proto.Lint { app; config } -> (
         match t.resolver.rv_lint ~app ~config with
         | Ok (l_report, l_errors) -> Lint_r { l_report; l_errors }

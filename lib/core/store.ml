@@ -44,33 +44,52 @@ let magic = "gpuopt-store v1"
 
 let hex (s : string) : string = Digest.to_hex (Digest.string s)
 
-(* Everything the simulator's timing model reads from the machine
-   description, in a fixed order.  Two processes disagreeing on any of
-   these must not share measurements. *)
-let arch_digest ?(limits = Gpu.Arch.g80) () : string =
-  let l = limits and lat = Gpu.Arch.g80_latencies in
-  hex
-    (String.concat ","
-       [
-         "arch";
-         string_of_int l.num_sms;
-         string_of_int l.max_threads_per_sm;
-         string_of_int l.max_blocks_per_sm;
-         string_of_int l.regs_per_sm;
-         string_of_int l.smem_per_sm;
-         string_of_int l.max_threads_per_block;
-         string_of_int Gpu.Arch.shared_banks;
-         Printf.sprintf "%h" Gpu.Arch.clock_ghz;
-         Printf.sprintf "%h" Gpu.Arch.global_bandwidth_gbs;
-         string_of_int lat.issue;
-         string_of_int lat.alu;
-         string_of_int lat.sfu;
-         string_of_int lat.sfu_issue;
-         string_of_int lat.shared;
-         string_of_int lat.global;
-         string_of_int lat.coalesced_tx;
-         string_of_int Gpu.Arch.scoreboard_depth;
-       ])
+(* The full machine description, in a fixed order.  Two processes
+   disagreeing on any of these must not share measurements.
+
+   The first 18 elements are exactly the fields (and order) the store
+   hashed before the machine model became a value, evaluated on the
+   arch's own record; the remaining fields of [Gpu.Arch.t] follow as
+   tagged extension entries, appended only when they differ from the
+   G80's values.  G80 store keys are therefore bit-identical to every
+   store written before the registry existed, while any two arches
+   that differ anywhere in the record — a single latency included —
+   hash differently. *)
+let arch_digest ?(arch = Gpu.Arch.g80) () : string =
+  let l = arch.Gpu.Arch.limits and lat = arch.Gpu.Arch.latencies in
+  let legacy =
+    [
+      "arch";
+      string_of_int l.num_sms;
+      string_of_int l.max_threads_per_sm;
+      string_of_int l.max_blocks_per_sm;
+      string_of_int l.regs_per_sm;
+      string_of_int l.smem_per_sm;
+      string_of_int l.max_threads_per_block;
+      string_of_int arch.shared_banks;
+      Printf.sprintf "%h" arch.clock_ghz;
+      Printf.sprintf "%h" arch.global_bandwidth_gbs;
+      string_of_int lat.issue;
+      string_of_int lat.alu;
+      string_of_int lat.sfu;
+      string_of_int lat.sfu_issue;
+      string_of_int lat.shared;
+      string_of_int lat.global;
+      string_of_int lat.coalesced_tx;
+      string_of_int arch.scoreboard_depth;
+    ]
+  in
+  let g = Gpu.Arch.g80 in
+  let ext tag v default = if v = default then [] else [ Printf.sprintf "%s=%d" tag v ] in
+  let extensions =
+    ext "warp" l.warp_size g.limits.warp_size
+    @ ext "sps" l.sps_per_sm g.limits.sps_per_sm
+    @ ext "sfus" l.sfus_per_sm g.limits.sfus_per_sm
+    @ ext "const_hit" lat.const_hit g.latencies.const_hit
+    @ ext "uncoalesced_tx" lat.uncoalesced_tx g.latencies.uncoalesced_tx
+    @ ext "flops" arch.flops_per_sm_per_cycle g.flops_per_sm_per_cycle
+  in
+  hex (String.concat "," (legacy @ extensions))
 
 (* The measurement problem: which app, at which problem scale, over
    which candidate set.  [scale] distinguishes e.g. the quick and the

@@ -1,13 +1,23 @@
-(* The GeForce 8800 GTX machine description.
+(* Machine-model registry.
 
-   Encodes Table 1 (memories), Table 2 (resource constraints) and the
-   microarchitectural parameters of section 2.1 of the paper, plus the
-   occupancy calculation that the paper performs from `-cubin` output
-   (worked example in section 2.2: 256 threads/block, 10 regs/thread,
-   4KB smem/block -> 3 blocks/SM; raising to 11 regs -> 2 blocks/SM). *)
+   The paper computes everything — occupancy cliffs, Eq.1/Eq.2
+   metrics, the Pareto frontier — against one machine, the GeForce
+   8800 GTX (Tables 1-2, section 2.1).  This module makes that machine
+   a *value*: [t] packages the resource limits, the latency model, the
+   shared-memory bank and coalescing geometry, and the clock/bandwidth
+   figures, and a small named registry supplies at least three points
+   so sweeps can ask "which configuration wins per machine" instead of
+   "what is fast on a G80".
+
+   [g80] carries the paper's numbers verbatim (worked example in
+   section 2.2: 256 threads/block, 10 regs/thread, 4KB smem/block ->
+   3 blocks/SM; raising to 11 regs -> 2 blocks/SM), and every default
+   in the system is [g80], so historical digests, store keys and
+   golden simulator results are bit-identical to the pre-registry
+   code. *)
 
 (* ------------------------------------------------------------------ *)
-(* Table 2: constraints of GeForce 8800 and CUDA                       *)
+(* Table 2: resource constraints                                       *)
 (* ------------------------------------------------------------------ *)
 
 type limits = {
@@ -21,35 +31,6 @@ type limits = {
   sps_per_sm : int;
   sfus_per_sm : int;
 }
-
-let g80 : limits =
-  {
-    max_threads_per_sm = 768;
-    max_blocks_per_sm = 8;
-    regs_per_sm = 8192;
-    smem_per_sm = 16384;
-    max_threads_per_block = 512;
-    warp_size = 32;
-    num_sms = 16;
-    sps_per_sm = 8;
-    sfus_per_sm = 2;
-  }
-
-(* Shared memory is organized into 16 banks, interleaved by 32-bit
-   word (section 2.1); half-warp accesses conflict when distinct
-   addresses map to the same bank. *)
-let shared_banks = 16
-
-let clock_ghz = 1.35
-let clock_hz = clock_ghz *. 1e9
-
-(* Peak: 16 SM * 18 FLOP/SM/cycle * 1.35 GHz = 388.8 GFLOPS. *)
-let peak_gflops = float_of_int (g80.num_sms * 18) *. clock_ghz
-
-(* 86.4 GB/s of off-chip bandwidth; per SM per cycle that is
-   86.4e9 / 1.35e9 / 16 = 4 bytes. *)
-let global_bandwidth_gbs = 86.4
-let bytes_per_cycle_per_sm = global_bandwidth_gbs *. 1e9 /. clock_hz /. float_of_int g80.num_sms
 
 (* ------------------------------------------------------------------ *)
 (* Latency model (cycles)                                              *)
@@ -70,27 +51,162 @@ type latencies = {
          wasting ~94% of the fetched bytes for a 4B read *)
 }
 
-(* Per-warp scoreboard depth: how many long-latency results (global
-   loads, SFU ops) a warp may have in flight before further issue of
-   such instructions stalls.  The G80 tracked a small fixed number of
-   outstanding operands per warp; this is what makes thread-level
-   parallelism (other warps) necessary once a warp's own instruction-
-   level parallelism exceeds the window — the utilization story of the
-   paper's Figure 5. *)
-let scoreboard_depth = 6
+(* ------------------------------------------------------------------ *)
+(* The machine model                                                   *)
+(* ------------------------------------------------------------------ *)
 
-let g80_latencies : latencies =
+type t = {
+  name : string;  (* registry key, as accepted by --arch *)
+  display : string;
+  limits : limits;
+  latencies : latencies;
+  scoreboard_depth : int;
+      (* per-warp long-latency results in flight before issue stalls:
+         what makes thread-level parallelism necessary once a warp's
+         own ILP exceeds the window — the paper's Figure 5 story *)
+  shared_banks : int;  (* power of two; word-interleaved *)
+  clock_ghz : float;
+  global_bandwidth_gbs : float;
+  flops_per_sm_per_cycle : int;  (* for the peak-GFLOPS headline *)
+}
+
+let g80 : t =
   {
-    issue = 4;
-    sfu_issue = 16;
-    alu = 24;
-    sfu = 36;
-    shared = 36;
-    const_hit = 8;
-    global = 250;
-    coalesced_tx = 16;
-    uncoalesced_tx = 16;
+    name = "g80";
+    display = "GeForce 8800 GTX (paper Tables 1-2)";
+    limits =
+      {
+        max_threads_per_sm = 768;
+        max_blocks_per_sm = 8;
+        regs_per_sm = 8192;
+        smem_per_sm = 16384;
+        max_threads_per_block = 512;
+        warp_size = 32;
+        num_sms = 16;
+        sps_per_sm = 8;
+        sfus_per_sm = 2;
+      };
+    latencies =
+      {
+        issue = 4;
+        sfu_issue = 16;
+        alu = 24;
+        sfu = 36;
+        shared = 36;
+        const_hit = 8;
+        global = 250;
+        coalesced_tx = 16;
+        uncoalesced_tx = 16;
+      };
+    scoreboard_depth = 6;
+    shared_banks = 16;
+    clock_ghz = 1.35;
+    global_bandwidth_gbs = 86.4;
+    flops_per_sm_per_cycle = 18;
   }
+
+(* A wide/modern point in the spirit of a Fermi-class part: 32 banks,
+   a 4x register file, single-cycle issue, deeper scoreboard, but a
+   longer way to DRAM.  Occupancy cliffs land at different block
+   shapes than on the G80, so tuned winners legitimately differ. *)
+let wide32 : t =
+  {
+    name = "wide32";
+    display = "wide modern SM (32 banks, 32K regs)";
+    limits =
+      {
+        max_threads_per_sm = 1536;
+        max_blocks_per_sm = 8;
+        regs_per_sm = 32768;
+        smem_per_sm = 49152;
+        max_threads_per_block = 1024;
+        warp_size = 32;
+        num_sms = 14;
+        sps_per_sm = 32;
+        sfus_per_sm = 4;
+      };
+    latencies =
+      {
+        issue = 1;
+        sfu_issue = 8;
+        alu = 18;
+        sfu = 28;
+        shared = 26;
+        const_hit = 6;
+        global = 400;
+        coalesced_tx = 8;
+        uncoalesced_tx = 8;
+      };
+    scoreboard_depth = 10;
+    shared_banks = 32;
+    clock_ghz = 1.15;
+    global_bandwidth_gbs = 144.0;
+    flops_per_sm_per_cycle = 64;
+  }
+
+(* An extreme low-resource point in the spirit of an FPGA soft GPU:
+   two tiny SMs, a 2K-register file, 4 shared banks, slow issue but a
+   short, fully on-board path to memory.  Most large block shapes do
+   not even launch here, so the per-arch winner table genuinely
+   disagrees with the discrete GPUs. *)
+let fpga_soft : t =
+  {
+    name = "fpga_soft";
+    display = "FPGA soft GPU (2 SMs, 2K regs, 4 banks)";
+    limits =
+      {
+        max_threads_per_sm = 256;
+        max_blocks_per_sm = 4;
+        regs_per_sm = 2048;
+        smem_per_sm = 8192;
+        max_threads_per_block = 256;
+        warp_size = 32;
+        num_sms = 2;
+        sps_per_sm = 4;
+        sfus_per_sm = 1;
+      };
+    latencies =
+      {
+        issue = 8;
+        sfu_issue = 32;
+        alu = 12;
+        sfu = 64;
+        shared = 12;
+        const_hit = 4;
+        global = 60;
+        coalesced_tx = 32;
+        uncoalesced_tx = 32;
+      };
+    scoreboard_depth = 2;
+    shared_banks = 4;
+    clock_ghz = 0.15;
+    global_bandwidth_gbs = 0.6;
+    flops_per_sm_per_cycle = 8;
+  }
+
+(* The registry, in presentation order.  [g80] first: it is the
+   default everywhere and the machine all golden results pin. *)
+let archs : t list = [ g80; wide32; fpga_soft ]
+let names : string list = List.map (fun a -> a.name) archs
+let find (name : string) : t option = List.find_opt (fun a -> a.name = name) archs
+
+(* ------------------------------------------------------------------ *)
+(* Derived figures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let clock_hz (a : t) : float = a.clock_ghz *. 1e9
+
+(* Peak: G80 = 16 SM * 18 FLOP/SM/cycle * 1.35 GHz = 388.8 GFLOPS. *)
+let peak_gflops (a : t) : float =
+  float_of_int (a.limits.num_sms * a.flops_per_sm_per_cycle) *. a.clock_ghz
+
+(* Off-chip bytes each SM can consume per cycle: the G80's 86.4 GB/s
+   at 1.35 GHz over 16 SMs is 4 bytes. *)
+let bytes_per_cycle_per_sm (a : t) : float =
+  a.global_bandwidth_gbs *. 1e9 /. clock_hz a /. float_of_int a.limits.num_sms
+
+(* Legacy alias: the paper's latency table, i.e. [g80.latencies]. *)
+let g80_latencies : latencies = g80.latencies
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: properties of GeForce 8800 memories (for reports)          *)
@@ -164,10 +280,10 @@ type occupancy = {
 }
 
 (* B_SM as computed in section 4 of the paper: the maximum number of
-   blocks, up to 8, whose combined threads, registers and shared memory
-   fit the per-SM limits. *)
-let occupancy ?(limits = g80) ~threads_per_block ~regs_per_thread ~smem_per_block () : occupancy
-    =
+   blocks, up to the per-SM block limit, whose combined threads,
+   registers and shared memory fit the per-SM limits. *)
+let occupancy ?(arch = g80) ~threads_per_block ~regs_per_thread ~smem_per_block () : occupancy =
+  let limits = arch.limits in
   let warps_per_block = Util.Stats.cdiv threads_per_block limits.warp_size in
   if threads_per_block <= 0 || threads_per_block > limits.max_threads_per_block then
     {

@@ -19,10 +19,17 @@ type t = {
   mutable glob_brk : int;  (* allocation high-water mark, words *)
   mutable cst : float array;  (* constant memory *)
   mutable cst_brk : int;
+  const_capacity : int;  (* constant-bank capacity in bytes (Table 1: 64KB on G80) *)
 }
 
-let create ?(global_words = 1 lsl 16) ?(const_words = 1 lsl 14) () =
-  { glob = Array.make global_words 0.0; glob_brk = 0; cst = Array.make const_words 0.0; cst_brk = 0 }
+let create ?(global_words = 1 lsl 16) ?(const_words = 1 lsl 14) ?(const_capacity = 65536) () =
+  {
+    glob = Array.make global_words 0.0;
+    glob_brk = 0;
+    cst = Array.make const_words 0.0;
+    cst_brk = 0;
+    const_capacity;
+  }
 
 let grow arr needed =
   let n = Array.length arr in
@@ -43,10 +50,13 @@ let alloc t words =
   t.glob_brk <- t.glob_brk + words;
   b
 
-(* Allocate in the constant bank (Table 1: 64KB limit, enforced). *)
+(* Allocate in the constant bank (capacity enforced; Table 1: 64KB). *)
 let alloc_const t words =
   if words < 0 then invalid_arg "Device.alloc_const: negative size";
-  if (t.cst_brk + words) * 4 > 65536 then failwith "Device.alloc_const: constant memory exhausted (64KB)";
+  if (t.cst_brk + words) * 4 > t.const_capacity then
+    failwith
+      (Printf.sprintf "Device.alloc_const: constant memory exhausted (%dKB)"
+         (t.const_capacity / 1024));
   t.cst <- grow t.cst (t.cst_brk + words);
   let b = { space = Ptx.Instr.Const; base = t.cst_brk * 4; words } in
   t.cst_brk <- t.cst_brk + words;
@@ -56,7 +66,14 @@ let alloc_const t words =
    Buffers allocated on the original remain valid on the clone, so a
    staged problem can be cloned per measurement and kernels launched on
    the clones from concurrent domains without sharing mutable state. *)
-let clone t = { glob = Array.copy t.glob; glob_brk = t.glob_brk; cst = Array.copy t.cst; cst_brk = t.cst_brk }
+let clone t =
+  {
+    glob = Array.copy t.glob;
+    glob_brk = t.glob_brk;
+    cst = Array.copy t.cst;
+    cst_brk = t.cst_brk;
+    const_capacity = t.const_capacity;
+  }
 
 let check_bounds (b : buffer) i =
   if i < 0 || i >= b.words then

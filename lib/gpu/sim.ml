@@ -79,6 +79,11 @@ let set_watchdog_per_warp n =
   if n < 1 then invalid_arg "Sim.set_watchdog_per_warp: cap must be >= 1";
   Atomic.set watchdog_per_warp_cap n
 
+(* The G80's bank count, the historical default of the standalone
+   [bank_conflict_degree] entry point (the launch path reads the count
+   from its [Arch.t] instead). *)
+let g80_banks = 16
+
 type arg = I of int | F of float | Buf of Device.buffer
 
 type launch = {
@@ -116,7 +121,7 @@ type site_counter = {
 
 type stats = {
   cycles : float;  (* extrapolated kernel cycles *)
-  time_s : float;  (* cycles / 1.35 GHz *)
+  time_s : float;  (* cycles / arch clock *)
   total_blocks : int;
   blocks_simulated : int;
   warp_instrs : int;  (* issued in the simulated portion *)
@@ -202,7 +207,8 @@ type sm = {
    nothing; each launch owns its env, keeping parallel domains safe. *)
 type env = {
   dev : Device.t;
-  lat : Arch.latencies;
+  arch : Arch.t;
+  lat : Arch.latencies;  (* = arch.latencies, kept flat for the hot path *)
   bdim_x : int;
   bdim_y : int;
   gdim_x : int;
@@ -211,7 +217,7 @@ type env = {
   sm : sm;
   budget : int;  (* watchdog: max warp instructions this launch may issue *)
   addrs : int array;  (* 32 lane addresses of the access in flight *)
-  per_bank : int array;  (* Arch.shared_banks counters *)
+  per_bank : int array;  (* arch.shared_banks counters *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -260,9 +266,10 @@ let charge_channel env c ~tx ~bytes ~tx_cost =
 
 (* Shared-memory conflict degree over a half-warp: the maximum number
    of *distinct* addresses hitting one of the banks (same-address lanes
-   broadcast).  [per_bank] is caller-provided scratch of length
-   [Arch.shared_banks]; distinctness is a pairwise check over the at
-   most 16 active lanes, so no table is allocated. *)
+   broadcast).  [per_bank] is caller-provided scratch, one counter per
+   bank (its length, a power of two, IS the bank count); distinctness
+   is a pairwise check over the at most 16 active lanes, so no table
+   is allocated. *)
 let bank_degree (per_bank : int array) (addrs : int array) (mask : int) (half : int) : int =
   let lo = half * 16 in
   Array.fill per_bank 0 (Array.length per_bank) 0;
@@ -275,7 +282,7 @@ let bank_degree (per_bank : int array) (addrs : int array) (mask : int) (half : 
         if (not !dup) && mask land (1 lsl m) <> 0 && addrs.(m) = a then dup := true
       done;
       if not !dup then begin
-        let bank = a lsr 2 land (Arch.shared_banks - 1) in
+        let bank = a lsr 2 land (Array.length per_bank - 1) in
         per_bank.(bank) <- per_bank.(bank) + 1;
         if per_bank.(bank) > !deg then deg := per_bank.(bank)
       end
@@ -283,8 +290,9 @@ let bank_degree (per_bank : int array) (addrs : int array) (mask : int) (half : 
   done;
   !deg
 
-let bank_conflict_degree (addrs : int array) (mask : int) (half : int) : int =
-  bank_degree (Array.make Arch.shared_banks 0) addrs mask half
+let bank_conflict_degree ?(banks = g80_banks) (addrs : int array) (mask : int) (half : int) :
+    int =
+  bank_degree (Array.make banks 0) addrs mask half
 
 (* Distinct addresses among active lanes of the whole warp (constant
    cache broadcast: one issue slot per distinct address). *)
@@ -1270,8 +1278,8 @@ let exec_term (env : env) (ck : ckernel) (w : warp) (mask : int) : int =
 (* Scheduling                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Scoreboard-depth bookkeeping: a warp may track only
-   [Arch.scoreboard_depth] outstanding long-latency results; issuing
+(* Scoreboard-depth bookkeeping: a warp may track only the arch's
+   scoreboard depth of outstanding long-latency results; issuing
    another long-latency instruction first waits for the oldest to
    retire. *)
 let drop_retired (w : warp) (c : int) =
@@ -1411,7 +1419,7 @@ let make_block (env : env) (ck : ckernel) ~(seq : int ref) (cta_x : int) (cta_y 
           at_barrier = false;
           finished = false;
           in_heap = false;
-          pending = Array.make Arch.scoreboard_depth 0;
+          pending = Array.make env.arch.Arch.scoreboard_depth 0;
           n_pending = 0;
           blk;
         });
@@ -1650,8 +1658,20 @@ let default_max_blocks = 24
 (* Launch a kernel.  In [Timing] mode, simulates the blocks assigned to
    one representative SM (capped) and extrapolates; in [Functional]
    mode executes every block of the grid. *)
-let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latencies)
-    ?(scheduler = Heap) ?budget (dev : Device.t) (l : launch) : stats =
+let run ?(mode = Functional) ?(arch = Arch.g80) ?(scheduler = Heap) ?budget (dev : Device.t)
+    (l : launch) : stats =
+  let limits = arch.Arch.limits in
+  (* The execution core is structurally 32-wide: lane loops, the full
+     mask and the half-warp memory rules all assume warps of 32.  All
+     registry machines share that width; reject anything else rather
+     than silently mis-simulate. *)
+  if limits.Arch.warp_size <> 32 then
+    launch_error "arch %S has warp size %d; the simulator is 32-wide" arch.Arch.name
+      limits.Arch.warp_size;
+  if arch.Arch.shared_banks land (arch.Arch.shared_banks - 1) <> 0 || arch.Arch.shared_banks <= 0
+  then
+    launch_error "arch %S has %d shared banks; bank interleaving needs a power of two"
+      arch.Arch.name arch.Arch.shared_banks;
   let gx, gy = l.grid in
   let bx, by = l.block in
   let tpb = bx * by in
@@ -1664,7 +1684,7 @@ let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latenci
     launch_error "shared memory (%d bytes) exceeds per-SM capacity" (l.kernel.Prog.smem_words * 4);
   let resource = Ptx.Resource.of_kernel l.kernel in
   let occ =
-    Arch.occupancy ~limits ~threads_per_block:tpb ~regs_per_thread:resource.regs_per_thread
+    Arch.occupancy ~arch ~threads_per_block:tpb ~regs_per_thread:resource.regs_per_thread
       ~smem_per_block:resource.smem_bytes_per_block ()
   in
   let timing = match mode with Timing _ -> true | Functional -> false in
@@ -1693,7 +1713,8 @@ let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latenci
   let env =
     {
       dev;
-      lat = latencies;
+      arch;
+      lat = arch.Arch.latencies;
       bdim_x = bx;
       bdim_y = by;
       gdim_x = gx;
@@ -1702,7 +1723,7 @@ let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latenci
       sm;
       budget;
       addrs = Array.make 32 0;
-      per_bank = Array.make Arch.shared_banks 0;
+      per_bank = Array.make arch.Arch.shared_banks 0;
     }
   in
   let site_rows =
@@ -1777,7 +1798,7 @@ let run ?(mode = Functional) ?(limits = Arch.g80) ?(latencies = Arch.g80_latenci
     let cycles = float_of_int cycles_sim *. scale in
     {
       cycles;
-      time_s = cycles /. Arch.clock_hz;
+      time_s = cycles /. Arch.clock_hz arch;
       total_blocks;
       blocks_simulated = n_sim;
       warp_instrs = sm.n_warp_instrs;

@@ -158,17 +158,17 @@ let verdicts_of (r : Analysis.Lint.report) (arr : string) (kind : [ `Load | `Sto
 let crossval_tests =
   [
     t "matmul default: static = dynamic on every site, none ⊤"
-      (crossval_exact ?config:None ~expect_top:0 "matmul" Apps.Workbench.matmul);
+      (crossval_exact ?config:None ~expect_top:0 "matmul" (fun ?config () -> Apps.Workbench.matmul ?config ()));
     t "cp default: static = dynamic on every site, none ⊤"
-      (crossval_exact ?config:None ~expect_top:0 "cp" Apps.Workbench.cp);
+      (crossval_exact ?config:None ~expect_top:0 "cp" (fun ?config () -> Apps.Workbench.cp ?config ()));
     t "sad default: exact on analyzable sites, ⊤ sites reported"
-      (crossval_exact ?config:None ~expect_top:4 "sad" Apps.Workbench.sad);
+      (crossval_exact ?config:None ~expect_top:4 "sad" (fun ?config () -> Apps.Workbench.sad ?config ()));
     t "mri default: static = dynamic on every site, none ⊤"
-      (crossval_exact ?config:None ~expect_top:0 "mri" Apps.Workbench.mri);
+      (crossval_exact ?config:None ~expect_top:0 "mri" (fun ?config () -> Apps.Workbench.mri ?config ()));
     t "matmul 16x16 variant: still exact"
-      (crossval_exact ~config:"16x16/1x1/u1" ~expect_top:0 "matmul16" Apps.Workbench.matmul);
+      (crossval_exact ~config:"16x16/1x1/u1" ~expect_top:0 "matmul16" (fun ?config () -> Apps.Workbench.matmul ?config ()));
     t "cp uncoalesced variant: still exact"
-      (crossval_exact ~config:"b16x2/t2/unco" ~expect_top:0 "cp-unco" Apps.Workbench.cp);
+      (crossval_exact ~config:"b16x2/t2/unco" ~expect_top:0 "cp-unco" (fun ?config () -> Apps.Workbench.cp ?config ()));
     t "matmul 8x8 tile: C store uncoalesced; 16x16 tile: coalesced" (fun () ->
         let v8 = verdicts_of (Apps.Workbench.lint (wb_exn (Apps.Workbench.matmul ()))) "C" `Store in
         let v16 =

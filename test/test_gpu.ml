@@ -40,9 +40,9 @@ let arch_tests =
         let o = Arch.occupancy ~threads_per_block:33 ~regs_per_thread:1 ~smem_per_block:0 () in
         check_i "2 warps" 2 o.warps_per_block);
     t "peak arithmetic matches the paper (388.8 GFLOPS)" (fun () ->
-        check_b "peak" true (Float.abs (Arch.peak_gflops -. 388.8) < 0.01));
+        check_b "peak" true (Float.abs (Arch.peak_gflops Arch.g80 -. 388.8) < 0.01));
     t "per-SM bandwidth is 4 bytes per cycle" (fun () ->
-        check_b "bw" true (Float.abs (Arch.bytes_per_cycle_per_sm -. 4.0) < 0.01));
+        check_b "bw" true (Float.abs (Arch.bytes_per_cycle_per_sm Arch.g80 -. 4.0) < 0.01));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"occupancy is antitone in register usage (qcheck)" ~count:300
          QCheck.(pair (int_range 1 40) (int_range 1 40))
@@ -402,7 +402,7 @@ let timing_tests =
         in
         check_b "cycles > 0" true (s.cycles > 0.0);
         check_b "time consistent" true
-          (Float.abs (s.time_s -. (s.cycles /. Arch.clock_hz)) < 1e-12);
+          (Float.abs (s.time_s -. (s.cycles /. Arch.clock_hz Arch.g80)) < 1e-12);
         check_i "total blocks" 64 s.total_blocks;
         check_b "blocks simulated <= assigned" true (s.blocks_simulated <= 4);
         check_b "warp instrs > 0" true (s.warp_instrs > 0));

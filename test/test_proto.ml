@@ -56,9 +56,12 @@ let gen_request =
         return P.Ping;
         return P.Stats;
         return P.Shutdown;
-        map2 (fun app scale -> P.Tune { app; scale }) gen_string gen_scale;
-        map3 (fun app scale chaos -> P.Explore { app; scale; chaos }) gen_string gen_scale
-          gen_chaos;
+        map3 (fun app scale arch -> P.Tune { app; scale; arch }) gen_string gen_scale
+          (opt gen_string);
+        map2
+          (fun (app, scale) (chaos, arch) -> P.Explore { app; scale; chaos; arch })
+          (pair gen_string gen_scale)
+          (pair gen_chaos (opt gen_string));
         map2 (fun app config -> P.Lint { app; config }) gen_string (opt gen_string);
       ])
 
@@ -84,22 +87,26 @@ let gen_response =
               })
           (tup6 small_int small_int small_int small_int small_int small_int);
         map
-          (fun (app, n, chosen, sel, runs, hits) ->
+          (fun ((app, n, chosen, sel, runs, hits), arch) ->
             P.Tune_r
               {
                 t_app = app;
+                t_arch = arch;
                 t_space_size = n;
                 t_chosen = chosen;
                 t_selected = sel;
                 t_runs = runs;
                 t_store_hits = hits;
               })
-          (tup6 gen_string small_int gen_row (small_list gen_string) small_int small_int);
+          (pair
+             (tup6 gen_string small_int gen_row (small_list gen_string) small_int small_int)
+             gen_string);
         map2
-          (fun (app, n, inv, best, sbest, sel) (ex, red, opt, faults, runs, hits) ->
+          (fun (app, n, inv, best, sbest, sel) ((ex, red, opt, faults, runs, hits), arch) ->
             P.Explore_r
               {
                 x_app = app;
+                x_arch = arch;
                 x_space_size = n;
                 x_invalid = inv;
                 x_best = best;
@@ -113,7 +120,10 @@ let gen_response =
                 x_store_hits = hits;
               })
           (tup6 gen_string small_int small_int gen_row gen_row (small_list gen_string))
-          (tup6 (small_list gen_row) gen_float bool (small_list gen_fault) small_int small_int);
+          (pair
+             (tup6 (small_list gen_row) gen_float bool (small_list gen_fault) small_int
+                small_int)
+             gen_string);
         map2 (fun r e -> P.Lint_r { l_report = r; l_errors = e }) gen_string bool;
         map2
           (fun c m -> P.Error_r { e_code = c; e_msg = m })

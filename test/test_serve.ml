@@ -22,7 +22,7 @@ let with_server (f : S.t -> string -> 'a) : 'a =
         (fun () -> f (S.create ~jobs:2 ~store (Apps.Serving.resolver ())) file))
 
 let explore_reply server app : P.explore_reply =
-  match S.handle server (P.Explore { app; scale = P.Quick; chaos = None }) with
+  match S.handle server (P.Explore { app; scale = P.Quick; chaos = None; arch = None }) with
   | P.Explore_r x -> x
   | _ -> Alcotest.failf "%s: explore did not return Explore_r" app
 
@@ -68,7 +68,7 @@ let identity_tests =
         let e = Option.get (Apps.Registry.find "matmul") in
         let best, selected = Tuner.Search.tune ~jobs:2 ~app_name:"matmul" (e.quick_candidates ()) in
         with_server (fun server _ ->
-            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick }) with
+            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick; arch = None }) with
             | P.Tune_r r ->
               Alcotest.(check string) "chosen desc" best.cand.desc r.t_chosen.m_desc;
               Alcotest.(check bool) "chosen time bit-equal" true
@@ -96,7 +96,7 @@ let cache_tests =
               (List.map (fun (r : P.measured_row) -> (r.m_desc, r.m_time_s)) cold.x_exhaustive)
               warm.x_exhaustive;
             (* the tune request over the same space is also free *)
-            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick }) with
+            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick; arch = None }) with
             | P.Tune_r r -> Alcotest.(check int) "tune runs" 0 r.t_runs
             | _ -> Alcotest.fail "tune failed on a warm store"));
     t "a chaos-faulted stream degrades gracefully and never poisons the store" (fun () ->
@@ -112,6 +112,7 @@ let cache_tests =
                        app = "matmul";
                        scale = P.Quick;
                        chaos = Some { ch_seed = 7; ch_count = 3 };
+                       arch = None;
                      })
               with
               | P.Explore_r x -> x
@@ -140,6 +141,7 @@ let cache_tests =
                      app = "matmul";
                      scale = P.Quick;
                      chaos = Some { ch_seed = 1; ch_count = 1_000_000 };
+                     arch = None;
                    })
             with
             | P.Error_r { e_code = P.Bad_request; _ } -> ()
@@ -154,7 +156,7 @@ let handle_frame_tests =
   [
     t "unknown app, bad lint config, garbage frames: typed errors, no crash" (fun () ->
         with_server (fun server _ ->
-            (match S.handle server (P.Tune { app = "nope"; scale = P.Quick }) with
+            (match S.handle server (P.Tune { app = "nope"; scale = P.Quick; arch = None }) with
             | P.Error_r { e_code = P.Unknown_app; e_msg } ->
               Alcotest.(check bool) "lists known apps" true
                 (String.length e_msg > 0
@@ -209,7 +211,7 @@ let socket_tests =
                     (match S.rpc fd P.Ping with
                     | Ok P.Pong -> ()
                     | _ -> Alcotest.fail "ping failed");
-                    match S.rpc fd (P.Explore { app = "matmul"; scale = P.Quick; chaos = None }) with
+                    match S.rpc fd (P.Explore { app = "matmul"; scale = P.Quick; chaos = None; arch = None }) with
                     | Ok (P.Explore_r x) ->
                       Alcotest.(check int) "cold sweep over the socket" x.x_space_size x.x_runs
                     | Ok _ -> Alcotest.fail "wrong reply type"
