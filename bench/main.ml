@@ -1037,6 +1037,98 @@ let serve () =
           printf "wrote BENCH_serve.json\n"))
 
 (* ------------------------------------------------------------------ *)
+(* Superopt: the tiered rule-discovery funnel                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded superoptimizer discovery on g80: run the full enumeration
+   through the equivalence funnel, report the per-tier rejection
+   counts and discovery throughput, check the headline guarantees
+   (enough rules, worker-count invariance, no rule refutable by fresh
+   random vectors, the hand-written Ptx.Opt folds rediscovered), and
+   write BENCH_superopt.json so the discovery-rate trajectory is
+   machine-checkable across commits. *)
+let superopt () =
+  section "Superopt: tiered rule discovery + equivalence funnel (g80)";
+  let module So = Tuner.Superopt in
+  let module P = Ptx.Patterns in
+  let r = So.discover ~jobs:!jobs () in
+  let f = r.So.funnel in
+  print_string (So.funnel_table f);
+  let q, b, e = So.tier_counts r.So.rules in
+  let nrules = List.length r.So.rules in
+  let rate = float_of_int f.So.fn_pairs /. Float.max 1e-9 r.So.elapsed_s in
+  printf "%d rules (%d quick / %d bounded / %d exhaustive), %.1fs, %.0f candidate pairs/s\n"
+    nrules q b e r.So.elapsed_s rate;
+  printf "db digest: %s (key %s)\n" (P.digest r.So.rules) (So.db_key ());
+  check "bounded discovery harvests >= 10 verified rules" (nrules >= 10);
+  check "every rule is wellformed" (List.for_all P.wellformed r.So.rules);
+  let has lhs rhs =
+    List.exists
+      (fun (ru : P.rule) -> Ptx.Window.key ru.P.lhs = lhs && Ptx.Window.key ru.P.rhs = rhs)
+      r.So.rules
+  in
+  check "machine-checked equivalents of the Ptx.Opt folds present"
+    (has "add.s32 %r1, %r0, 0;" "mov.s32 %r1, %r0;"
+    && has "mul.f32 %f1, %f0, 1.0;" "mov.f32 %f1, %f0;"
+    && has "add.f32 %f1, %f0, -0.0;" "mov.f32 %f1, %f0;");
+  check "the unsound x+0.0 fold is absent (PR 1's signed-zero bug)"
+    (not (List.exists (fun (ru : P.rule) -> Ptx.Window.key ru.P.lhs = "add.f32 %f1, %f0, 0.0;") r.So.rules));
+  (* Worker-count invariance, on the single-instruction tier so the
+     second discovery stays cheap. *)
+  let d1 = So.discover ~jobs:1 ~max_len:1 () in
+  let d4 = So.discover ~jobs:4 ~max_len:1 () in
+  check "rule DB bit-identical for --jobs 1 vs --jobs 4"
+    (P.to_string d1.So.rules = P.to_string d4.So.rules);
+  (* Zero false equivalences: fresh random vectors, disjoint from the
+     funnel's seeding, must refute no rule. *)
+  let refuted = ref 0 in
+  List.iteri
+    (fun idx (ru : P.rule) ->
+      let rng = Util.Rng.create (0x5eed + idx) in
+      let outs = P.outputs ru in
+      for _ = 1 to 64 do
+        let assign =
+          List.map
+            (fun reg -> (reg, Ptx.Equiv.random_value rng (Ptx.Reg.ty reg)))
+            (Ptx.Window.inputs ru.P.lhs)
+        in
+        let eval seq =
+          let c = Ptx.Equiv.make_ctx assign in
+          Ptx.Equiv.run_seq c seq;
+          List.map (Ptx.Equiv.reg_value c) outs
+        in
+        if not (List.for_all2 Ptx.Equiv.equal_value (eval ru.P.lhs) (eval ru.P.rhs)) then
+          incr refuted
+      done)
+    r.So.rules;
+  check "zero false equivalences under a fresh adversarial sweep" (!refuted = 0);
+  (* The pass on a real kernel: matmul's raw lowering, translation-
+     validated after rewriting. *)
+  (match (registry "matmul").workbench () with
+  | Error msg ->
+    printf "matmul workbench: %s\n" msg;
+    check "peephole pass rewrites matmul's raw lowering" false
+  | Ok wb ->
+    let before = Kir.Lower.lower wb.Apps.Workbench.wb_kernel in
+    let after, st = Ptx.Peephole.run_stats r.So.rules before in
+    printf "matmul raw lowering: %d -> %d instructions, %d window(s) rewritten, %d blocked by liveness\n"
+      (Ptx.Prog.static_size before) (Ptx.Prog.static_size after) st.Ptx.Peephole.matched
+      st.Ptx.Peephole.blocked;
+    check "peephole pass rewrites matmul's raw lowering" (st.Ptx.Peephole.matched >= 1);
+    check "rewritten kernel passes translation validation"
+      (match Ptx.Equiv.validate before after with Ok _ -> true | Error _ -> false));
+  let json = Buffer.create 1024 in
+  Printf.bprintf json
+    "{\n  \"bench\": \"superopt\",\n  \"arch\": \"g80\",\n  \"jobs\": %d,\n  \"rules\": %d,\n  \"tiers\": {\"quick\": %d, \"bounded\": %d, \"exhaustive\": %d},\n  \"funnel\": {\"windows\": %d, \"pairs\": %d, \"rejected_quick\": %d, \"rejected_bounded\": %d, \"rejected_exhaustive\": %d, \"unsupported\": %d, \"passed\": %d},\n  \"elapsed_s\": %.6f,\n  \"pairs_per_s\": %.0f,\n  \"db_digest\": %S\n}\n"
+    !jobs nrules q b e f.So.fn_lhs f.So.fn_pairs f.So.fn_quick f.So.fn_bounded
+    f.So.fn_exhaustive f.So.fn_unsupported f.So.fn_passed r.So.elapsed_s rate
+    (P.digest r.So.rules);
+  let oc = open_out "BENCH_superopt.json" in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  printf "wrote BENCH_superopt.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1055,6 +1147,7 @@ let experiments =
     ("bechamel", bechamel);
     ("chaos", chaos);
     ("serve", serve);
+    ("superopt", superopt);
   ]
 
 let () =

@@ -44,8 +44,29 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let candidates_of ?arch (e : Apps.Registry.entry) quick =
-  if quick then e.quick_candidates ?arch () else e.candidates ?arch ()
+let candidates_of ?arch ?extra_ptx (e : Apps.Registry.entry) quick =
+  if quick then e.quick_candidates ?arch ?extra_ptx () else e.candidates ?arch ?extra_ptx ()
+
+(* Shared by explore/tune: append the verified peephole pass, built from
+   a (store-cached) superoptimizer discovery run on the target arch. *)
+let rules_flag =
+  let doc =
+    "Append the superoptimizer's verified peephole pass to every candidate's schedule.  The \
+     rule database is discovered for the target arch (and cached in $(b,--store) when given)."
+  in
+  Arg.(value & flag & info [ "rules" ] ~doc)
+
+let rules_extra ?store ~jobs rules_on (arch : Gpu.Arch.t) :
+    Tuner.Pipeline.ptx_pass list option =
+  if not rules_on then None
+  else begin
+    let r = Tuner.Superopt.discover_cached ?store ~jobs ~arch () in
+    Printf.printf "peephole: %d verified rule(s)%s, db %s\n"
+      (List.length r.Tuner.Superopt.rules)
+      (if r.Tuner.Superopt.cached then " (from store)" else "")
+      (Ptx.Patterns.digest r.Tuner.Superopt.rules);
+    Some [ Tuner.Pipeline.peephole r.Tuner.Superopt.rules ]
+  end
 
 (* Shared by explore/tune/lint/request: which machine model to target.
    The registry names plus "all" (explore/tune only: sweep every
@@ -195,7 +216,8 @@ let explore_cmd =
             "Abort the sweep on the first measurement fault instead of recording it and \
              searching over the survivors.")
   in
-  let run (e : Apps.Registry.entry) jobs quick stats checkpoint fail_fast store_file arch_name =
+  let run (e : Apps.Registry.entry) jobs quick stats checkpoint fail_fast store_file arch_name
+      rules =
     if arch_name = "all" then begin
       (* Cross-arch sweep: arch is the outer enumeration axis; one
          engine (and store binding) per arch, then the per-arch winner
@@ -209,7 +231,8 @@ let explore_cmd =
             Tuner.Search.run_archs ~jobs ~fail_fast ?store
               ~store_scale:(if quick then "quick" else "full")
               ~app_name:e.name ~archs:Gpu.Arch.archs
-              (fun arch -> candidates_of ~arch e quick))
+              (fun arch ->
+                candidates_of ~arch ?extra_ptx:(rules_extra ?store ~jobs rules arch) e quick))
       in
       print_string (Tuner.Report.arch_winner_table rs);
       Printf.printf "\n";
@@ -226,7 +249,7 @@ let explore_cmd =
             Tuner.Search.run ~jobs ~fail_fast ?checkpoint ?store
               ~store_scale:(if quick then "quick" else "full")
               ~app_name:e.name
-              (candidates_of ~arch e quick))
+              (candidates_of ~arch ?extra_ptx:(rules_extra ?store ~jobs rules arch) e quick))
       with
       | Tuner.Fault.Fail { desc; fault } ->
         Printf.eprintf "fault in %s: %s\n" desc (Tuner.Fault.to_string fault);
@@ -267,7 +290,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ app_arg $ jobs_arg $ quick_arg $ stats_arg $ checkpoint_arg $ fail_fast_arg
-      $ store_arg $ arch_name_arg)
+      $ store_arg $ arch_name_arg $ rules_flag)
 
 let chaos_cmd =
   let doc =
@@ -415,7 +438,7 @@ let tune_cmd =
     "Run the paper's methodology: compile the whole space, compute the static metrics, measure \
      only the Pareto-optimal subset, report the chosen configuration."
   in
-  let run (e : Apps.Registry.entry) jobs quick store_file arch_name =
+  let run (e : Apps.Registry.entry) jobs quick store_file arch_name rules =
     if arch_name = "all" then begin
       with_store store_file (fun store ->
           List.iter
@@ -424,14 +447,17 @@ let tune_cmd =
                 Tuner.Search.tune_full ~jobs ?store
                   ~store_scale:(if quick then "quick" else "full")
                   ~app_name:e.name
-                  (candidates_of ~arch e quick)
+                  (candidates_of ~arch ?extra_ptx:(rules_extra ?store ~jobs rules arch) e quick)
               in
               winner_line arch tuned.Tuner.Search.chosen)
             Gpu.Arch.archs);
       exit 0
     end;
     let arch = resolve_arch arch_name in
-    let cands = candidates_of ~arch e quick in
+    let cands =
+      with_store store_file (fun store ->
+          candidates_of ~arch ?extra_ptx:(rules_extra ?store ~jobs rules arch) e quick)
+    in
     let tuned =
       with_store store_file (fun store ->
           Tuner.Search.tune_full ~jobs ?store
@@ -458,7 +484,7 @@ let tune_cmd =
         tuned.tune_engine.store_misses
   in
   Cmd.v (Cmd.info "tune" ~doc)
-    Term.(const run $ app_arg $ jobs_arg $ quick_arg $ store_arg $ arch_name_arg)
+    Term.(const run $ app_arg $ jobs_arg $ quick_arg $ store_arg $ arch_name_arg $ rules_flag)
 
 let inspect_cmd =
   let doc =
@@ -569,6 +595,27 @@ let lint_cmd =
         | Some m -> Apps.Workbench.lint_mutant wb (mutation wb m)
       in
       print_string (Analysis.Lint.render report);
+      (* Dead-store lint ([Ptx.Liveness.dead_defs]): instructions whose
+         defined register is dead on every path out of their position.
+         The raw lowering is reported as a count (DCE will remove
+         those); anything still dead in the *optimized* kernel is a
+         wasted issue slot and is listed instruction by instruction. *)
+      let lowered = Kir.Lower.lower wb.Apps.Workbench.wb_kernel in
+      let dead_lowered = Ptx.Liveness.dead_defs lowered in
+      if dead_lowered <> [] then
+        Printf.printf "dead stores: %d in the raw lowering (removed by dce)\n"
+          (List.length dead_lowered);
+      let dead =
+        Ptx.Liveness.dead_defs wb.Apps.Workbench.wb_compiled.Tuner.Pipeline.ptx
+      in
+      if dead = [] then Printf.printf "dead stores: none in the optimized kernel\n"
+      else begin
+        Printf.printf "dead stores: %d survive optimization (wasted issue slots):\n"
+          (List.length dead);
+        List.iter
+          (fun (label, j, i) -> Printf.printf "  %s[%d]: %s\n" label j (Ptx.Pp.instr i))
+          dead
+      end;
       if crossval then begin
         Printf.printf "\ncross-validation against the simulator:\n";
         print_string
@@ -839,6 +886,106 @@ let request_cmd =
       const run $ socket_arg $ verb_arg $ req_app_arg $ scale_arg $ chaos_arg $ config_arg
       $ req_arch_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Superoptimizer                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let len_arg =
+  let doc = "Maximum window length to enumerate (1 or 2)." in
+  Arg.(value & opt int 2 & info [ "len" ] ~docv:"N" ~doc)
+
+let sweep_arg =
+  let doc = "Random adversarial vectors per candidate pair in the bounded tier." in
+  Arg.(value & opt int 128 & info [ "sweep" ] ~docv:"N" ~doc)
+
+let superopt_params quick len sweep =
+  if quick then (min len 1, min sweep 64) else (len, sweep)
+
+let superopt_cmd =
+  let doc =
+    "Discover a verified peephole rule database for the target machine: enumerate short \
+     canonical windows, propose cheaper rewrites, and push each pair through the equivalence \
+     funnel (quick vectors, adversarial bounded sweep, exhaustive proof on narrow domains).  \
+     With $(docv), additionally apply the database to the app's default configuration and \
+     validate the result.  $(b,--quick) bounds discovery to single-instruction windows."
+  in
+  let opt_app_arg =
+    Arg.(value & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Apply the rules to this app's kernel")
+  in
+  let run app jobs quick store_file arch_name len sweep =
+    let arch = resolve_arch arch_name in
+    let max_len, sweep = superopt_params quick len sweep in
+    let r =
+      with_store store_file (fun store ->
+          Tuner.Superopt.discover_cached ?store ~jobs ~arch ~max_len ~sweep ())
+    in
+    let open Tuner.Superopt in
+    if r.cached then
+      Printf.printf "%d rule(s) loaded from the store (arch %s)\n" (List.length r.rules)
+        arch.Gpu.Arch.name
+    else begin
+      print_string (funnel_table r.funnel);
+      let q, b, e = tier_counts r.rules in
+      Printf.printf "\n%d rule(s) on %s: %d exhaustive, %d bounded, %d quick\n"
+        (List.length r.rules) arch.Gpu.Arch.name e b q;
+      if r.elapsed_s > 0.0 then
+        Printf.printf "discovery: %.2fs, %.1f rules/s, %d pairs screened\n" r.elapsed_s
+          (float_of_int (List.length r.rules) /. r.elapsed_s)
+          r.funnel.fn_pairs
+    end;
+    Printf.printf "db digest: %s\n" (Ptx.Patterns.digest r.rules);
+    match app with
+    | None -> ()
+    | Some (e : Apps.Registry.entry) -> (
+      match e.workbench ~arch () with
+      | Error msg -> prerr_endline msg; exit 1
+      | Ok wb ->
+        (* Apply to the *raw lowering* of the app's default config — the
+           optimized kernel has already been folded by [Ptx.Opt], the
+           raw one still contains the patterns the rules target. *)
+        let before = Kir.Lower.lower wb.Apps.Workbench.wb_kernel in
+        let after, st = Ptx.Peephole.run_stats r.rules before in
+        Printf.printf
+          "\n%s %s: %d -> %d instructions, %d window(s) rewritten, %d blocked by liveness\n"
+          e.name wb.Apps.Workbench.wb_config
+          (Ptx.Prog.static_size before) (Ptx.Prog.static_size after)
+          st.Ptx.Peephole.matched st.Ptx.Peephole.blocked;
+        (match Ptx.Verify.check after with
+        | Ok () -> ()
+        | Error vs ->
+          Printf.printf "verifier rejected the rewritten kernel:\n%s\n" (Ptx.Verify.report vs);
+          exit 1);
+        (match Ptx.Equiv.validate before after with
+        | Ok n -> Printf.printf "translation validation: ok (%d vectors)\n" n
+        | Error m ->
+          Printf.printf "translation validation FAILED: %s\n" (Ptx.Equiv.mismatch_to_string m);
+          exit 1))
+  in
+  Cmd.v (Cmd.info "superopt" ~doc)
+    Term.(
+      const run $ opt_app_arg $ jobs_arg $ quick_arg $ store_arg $ arch_name_arg $ len_arg
+      $ sweep_arg)
+
+let rules_cmd =
+  let doc =
+    "Print the verified rule database, one rule per line (proof tier, cycles saved, window => \
+     replacement), then its digest — the line CI pins against drift.  Reads the database from \
+     $(b,--store) when present, else discovers it."
+  in
+  let run jobs quick store_file arch_name len sweep =
+    let arch = resolve_arch arch_name in
+    let max_len, sweep = superopt_params quick len sweep in
+    let r =
+      with_store store_file (fun store ->
+          Tuner.Superopt.discover_cached ?store ~jobs ~arch ~max_len ~sweep ())
+    in
+    List.iter (fun rule -> print_endline (Ptx.Patterns.to_line rule)) r.Tuner.Superopt.rules;
+    Printf.printf "%d rule(s), db digest: %s\n" (List.length r.Tuner.Superopt.rules)
+      (Ptx.Patterns.digest r.Tuner.Superopt.rules)
+  in
+  Cmd.v (Cmd.info "rules" ~doc)
+    Term.(const run $ jobs_arg $ quick_arg $ store_arg $ arch_name_arg $ len_arg $ sweep_arg)
+
 let () =
   let doc = "program optimization space pruning for a multithreaded GPU (CGO'08 reproduction)" in
   let info = Cmd.info "gpuopt" ~version:"1.0.0" ~doc in
@@ -847,5 +994,5 @@ let () =
        (Cmd.group info
           [
             arch_cmd; archs_cmd; explore_cmd; tune_cmd; inspect_cmd; lint_cmd; compile_cmd;
-            run_cmd; chaos_cmd; serve_cmd; request_cmd;
+            run_cmd; chaos_cmd; serve_cmd; request_cmd; superopt_cmd; rules_cmd;
           ]))

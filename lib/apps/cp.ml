@@ -160,10 +160,10 @@ let analysis_input_of ?(arch = Gpu.Arch.g80) (p : problem) (c : config) :
 let compile ?(natoms = default_natoms) ?verify ?hook ?analyze (c : config) : Tuner.Pipeline.compiled =
   Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~natoms c)
 
-let candidates ?(arch = Gpu.Arch.g80) ?(npx = default_npx) ?(npy = default_npy)
+let candidates ?(arch = Gpu.Arch.g80) ?extra_ptx ?(npx = default_npx) ?(npy = default_npy)
     ?(natoms = default_natoms) ?(max_blocks = 8) () : Tuner.Candidate.t list =
   let p = setup ~npx ~npy ~natoms () in
-  Tuner.Pipeline.candidates_of_space ~arch ~space ~describe ~schedule
+  Tuner.Pipeline.candidates_of_space ~arch ?extra_ptx ~space ~describe ~schedule
     ~kernel:(fun cfg -> kernel ~natoms cfg)
     ~threads_per_block:(fun cfg -> block_x * cfg.block_y)
     ~threads_total:(fun cfg -> npx / cfg.tiling * npy)

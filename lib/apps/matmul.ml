@@ -182,10 +182,10 @@ let compile ?(n = default_n) ?verify ?hook ?analyze (c : config) : Tuner.Pipelin
 (* Build the full candidate list for the tuner: compile every
    configuration through the pipeline, characterize it statically, and
    provide a simulated measurement thunk. *)
-let candidates ?(arch = Gpu.Arch.g80) ?(n = default_n) ?(max_blocks = 12) () :
+let candidates ?(arch = Gpu.Arch.g80) ?extra_ptx ?(n = default_n) ?(max_blocks = 12) () :
     Tuner.Candidate.t list =
   let p = setup ~n () in
-  Tuner.Pipeline.candidates_of_space ~arch ~space ~describe ~schedule
+  Tuner.Pipeline.candidates_of_space ~arch ?extra_ptx ~space ~describe ~schedule
     ~kernel:(fun cfg -> kernel ~n cfg)
     ~threads_per_block:(fun cfg -> cfg.tile * cfg.tile)
     ~threads_total:(fun cfg -> n / cfg.rect * n)

@@ -187,10 +187,10 @@ let compile ?(nsamples = default_nsamples) ?(nvox = default_nvox) ?verify ?hook 
     (c : config) : Tuner.Pipeline.compiled =
   Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~nsamples ~nvox c)
 
-let candidates ?(arch = Gpu.Arch.g80) ?(nsamples = default_nsamples) ?(nvox = default_nvox)
-    ?(max_blocks = 3) () : Tuner.Candidate.t list =
+let candidates ?(arch = Gpu.Arch.g80) ?extra_ptx ?(nsamples = default_nsamples)
+    ?(nvox = default_nvox) ?(max_blocks = 3) () : Tuner.Candidate.t list =
   let p = setup ~nsamples ~nvox () in
-  Tuner.Pipeline.candidates_of_space ~arch ~space ~describe ~schedule
+  Tuner.Pipeline.candidates_of_space ~arch ?extra_ptx ~space ~describe ~schedule
     ~kernel:(fun cfg -> kernel ~nsamples ~nvox cfg)
     ~threads_per_block:(fun cfg -> cfg.tpb)
     ~threads_total:(fun cfg -> Util.Stats.cdiv (nvox / cfg.wpt) cfg.tpb * cfg.tpb)

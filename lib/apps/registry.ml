@@ -16,10 +16,15 @@ type entry = {
   constraints : string list;
   cardinality : int;  (* after validity constraints; Table 4 *)
   configs : string list Lazy.t;  (* all descriptions, enumeration order *)
-  candidates : ?arch:Gpu.Arch.t -> unit -> Tuner.Candidate.t list;  (* paper-scale problem *)
-  quick_candidates : ?arch:Gpu.Arch.t -> unit -> Tuner.Candidate.t list;
+  candidates :
+    ?arch:Gpu.Arch.t -> ?extra_ptx:Tuner.Pipeline.ptx_pass list -> unit -> Tuner.Candidate.t list;
+      (* paper-scale problem; [extra_ptx] appends passes (e.g. the
+         verified peephole leg) to every candidate's schedule *)
+  quick_candidates :
+    ?arch:Gpu.Arch.t -> ?extra_ptx:Tuner.Pipeline.ptx_pass list -> unit -> Tuner.Candidate.t list;
       (* tiny smoke-test problem *)
-  bench_candidates : ?arch:Gpu.Arch.t -> unit -> Tuner.Candidate.t list;
+  bench_candidates :
+    ?arch:Gpu.Arch.t -> ?extra_ptx:Tuner.Pipeline.ptx_pass list -> unit -> Tuner.Candidate.t list;
       (* bench-harness problem *)
   compile :
     ?verify:bool ->
@@ -65,9 +70,9 @@ let matmul =
     ~describe:Matmul.describe
     ~compile:(fun ?verify ?hook ?analyze c -> Matmul.compile ?verify ?hook ?analyze c)
     ~workbench:(fun ?arch ?config () -> Workbench.matmul ?arch ?config ())
-    ~candidates:(fun ?arch () -> Matmul.candidates ?arch ())
-    ~quick:(fun ?arch () -> Matmul.candidates ?arch ~n:64 ~max_blocks:2 ())
-    ~bench:(fun ?arch () -> Matmul.candidates ?arch ~n:256 ~max_blocks:8 ())
+    ~candidates:(fun ?arch ?extra_ptx () -> Matmul.candidates ?arch ?extra_ptx ())
+    ~quick:(fun ?arch ?extra_ptx () -> Matmul.candidates ?arch ?extra_ptx ~n:64 ~max_blocks:2 ())
+    ~bench:(fun ?arch ?extra_ptx () -> Matmul.candidates ?arch ?extra_ptx ~n:256 ~max_blocks:8 ())
     ()
 
 let cp =
@@ -75,9 +80,9 @@ let cp =
     ~space:Cp.space ~describe:Cp.describe
     ~compile:(fun ?verify ?hook ?analyze c -> Cp.compile ?verify ?hook ?analyze c)
     ~workbench:(fun ?arch ?config () -> Workbench.cp ?arch ?config ())
-    ~candidates:(fun ?arch () -> Cp.candidates ?arch ())
-    ~quick:(fun ?arch () -> Cp.candidates ?arch ~npx:256 ~npy:16 ~natoms:16 ~max_blocks:2 ())
-    ~bench:(fun ?arch () -> Cp.candidates ?arch ())
+    ~candidates:(fun ?arch ?extra_ptx () -> Cp.candidates ?arch ?extra_ptx ())
+    ~quick:(fun ?arch ?extra_ptx () -> Cp.candidates ?arch ?extra_ptx ~npx:256 ~npy:16 ~natoms:16 ~max_blocks:2 ())
+    ~bench:(fun ?arch ?extra_ptx () -> Cp.candidates ?arch ?extra_ptx ())
     ()
 
 let sad =
@@ -85,9 +90,9 @@ let sad =
     ~space:Sad.space ~describe:Sad.describe
     ~compile:(fun ?verify ?hook ?analyze c -> Sad.compile ?verify ?hook ?analyze c)
     ~workbench:(fun ?arch ?config () -> Workbench.sad ?arch ?config ())
-    ~candidates:(fun ?arch () -> Sad.candidates ?arch ())
-    ~quick:(fun ?arch () -> Sad.candidates ?arch ~w:32 ~h:16 ~sr:2 ~max_blocks:2 ())
-    ~bench:(fun ?arch () -> Sad.candidates ?arch ())
+    ~candidates:(fun ?arch ?extra_ptx () -> Sad.candidates ?arch ?extra_ptx ())
+    ~quick:(fun ?arch ?extra_ptx () -> Sad.candidates ?arch ?extra_ptx ~w:32 ~h:16 ~sr:2 ~max_blocks:2 ())
+    ~bench:(fun ?arch ?extra_ptx () -> Sad.candidates ?arch ?extra_ptx ())
     ()
 
 let mri_fhd =
@@ -95,9 +100,9 @@ let mri_fhd =
     ~space:Mri_fhd.space ~describe:Mri_fhd.describe
     ~compile:(fun ?verify ?hook ?analyze c -> Mri_fhd.compile ?verify ?hook ?analyze c)
     ~workbench:(fun ?arch ?config () -> Workbench.mri ?arch ?config ())
-    ~candidates:(fun ?arch () -> Mri_fhd.candidates ?arch ())
-    ~quick:(fun ?arch () -> Mri_fhd.candidates ?arch ~nsamples:8 ~nvox:3360 ~max_blocks:1 ())
-    ~bench:(fun ?arch () -> Mri_fhd.candidates ?arch ())
+    ~candidates:(fun ?arch ?extra_ptx () -> Mri_fhd.candidates ?arch ?extra_ptx ())
+    ~quick:(fun ?arch ?extra_ptx () -> Mri_fhd.candidates ?arch ?extra_ptx ~nsamples:8 ~nvox:3360 ~max_blocks:1 ())
+    ~bench:(fun ?arch ?extra_ptx () -> Mri_fhd.candidates ?arch ?extra_ptx ())
     ()
 
 (* Enumeration order is the paper's Table 4 order. *)

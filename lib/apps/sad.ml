@@ -225,12 +225,12 @@ let compile ?(w = default_w) ?(h = default_h) ?(sr = default_sr) ?verify ?hook ?
     (c : config) : Tuner.Pipeline.compiled =
   Tuner.Pipeline.compile ?verify ?hook ?analyze (schedule c) (kernel ~w ~h ~sr c)
 
-let candidates ?(arch = Gpu.Arch.g80) ?(w = default_w) ?(h = default_h) ?(sr = default_sr)
-    ?(max_blocks = 8) () : Tuner.Candidate.t list =
+let candidates ?(arch = Gpu.Arch.g80) ?extra_ptx ?(w = default_w) ?(h = default_h)
+    ?(sr = default_sr) ?(max_blocks = 8) () : Tuner.Candidate.t list =
   let p = setup ~w ~h ~sr () in
   let nvec = 4 * sr * sr in
   let mbs = w / mb * (h / mb) in
-  Tuner.Pipeline.candidates_of_space ~arch ~space ~describe ~schedule
+  Tuner.Pipeline.candidates_of_space ~arch ?extra_ptx ~space ~describe ~schedule
     ~kernel:(fun cfg -> kernel ~w ~h ~sr cfg)
     ~threads_per_block:(fun cfg -> cfg.tpb)
     ~threads_total:(fun cfg -> mbs * Util.Stats.cdiv nvec (cfg.tpb * cfg.tiling) * cfg.tpb)

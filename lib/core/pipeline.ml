@@ -67,6 +67,12 @@ let default_ptx_passes =
 
 let default_schedule = { kir_passes = []; ptx_passes = default_ptx_passes }
 
+(* The verified-peephole leg: apply a superoptimizer rule database as an
+   ordinary named PTX pass, so it runs under the same per-stage
+   [Ptx.Verify.check] as every hand-written pass. *)
+let peephole (rules : Ptx.Patterns.rule list) : ptx_pass =
+  ptx_pass "peephole" (Ptx.Peephole.run rules)
+
 type compiled = {
   source : Kir.Ast.kernel;  (* the KIR actually lowered, after KIR passes *)
   ptx : Ptx.Prog.t;  (* the optimized kernel the simulator runs *)
@@ -268,13 +274,15 @@ let lower_opt ?verify ?hook ?analyze (k : Kir.Ast.kernel) : compiled =
    [?arch] is the machine the candidates target — it sets occupancy,
    validity and the metrics' machine terms, and the [run] closure must
    launch on the same machine (the apps thread it into [Gpu.Sim.run]). *)
-let candidates_of_space ?verify ?hook ?arch ~(space : 'a Space.t) ~(describe : 'a -> string)
-    ~(kernel : 'a -> Kir.Ast.kernel) ~(schedule : 'a -> schedule)
-    ~(threads_per_block : 'a -> int) ~(threads_total : 'a -> int)
+let candidates_of_space ?verify ?hook ?arch ?(extra_ptx : ptx_pass list = [])
+    ~(space : 'a Space.t) ~(describe : 'a -> string) ~(kernel : 'a -> Kir.Ast.kernel)
+    ~(schedule : 'a -> schedule) ~(threads_per_block : 'a -> int) ~(threads_total : 'a -> int)
     ~(run : 'a -> Ptx.Prog.t -> unit -> float) () : Candidate.t list =
   List.map
     (fun (cfg, params) ->
-      let c = compile ?verify ?hook (schedule cfg) (kernel cfg) in
+      let sched = schedule cfg in
+      let sched = { sched with ptx_passes = sched.ptx_passes @ extra_ptx } in
+      let c = compile ?verify ?hook sched (kernel cfg) in
       Candidate.make ?arch ~desc:(describe cfg) ~params ~kernel:c.ptx ~resource:c.resource
         ~profile:c.profile
         ~threads_per_block:(threads_per_block cfg)

@@ -125,13 +125,25 @@ let candidate_key ~(arch : string) ~(space : string) (c : Candidate.t) : string 
 (* Payload format (everything after the key and the checksum):
      ok <desc %S> <time, Hexfloat encoding>
      fault <desc %S> <Fault.to_journal>
-   The desc is carried for human inspection of the store file; the key
-   alone addresses the entry. *)
+     blob <name %S> <content %S>
+   The desc/name is carried for human inspection of the store file; the
+   key alone addresses the entry.  A blob is an opaque string artifact
+   (e.g. a superoptimizer rule database) stored under the same
+   content-addressed, checksummed record discipline as measurements;
+   [%S] escaping keeps arbitrary content — newlines included — on one
+   record line. *)
+
+(* An entry is either a settled measurement or an opaque blob. *)
+type entry = Meas of string * outcome  (* desc, outcome *) | Blob of string * string
+(* name, content *)
 
 let payload_of (desc : string) (o : outcome) : string =
   match o with
   | Ok time_s -> Printf.sprintf "ok %S %s" desc (Hexfloat.to_string time_s)
   | Error f -> Printf.sprintf "fault %S %s" desc (Fault.to_journal f)
+
+let payload_of_blob ~(name : string) (content : string) : string =
+  Printf.sprintf "blob %S %S" name content
 
 let payload_to (payload : string) : (string * outcome) option =
   match String.index_opt payload ' ' with
@@ -159,6 +171,16 @@ let payload_to (payload : string) : (string * outcome) option =
         match Fault.of_journal rest with Some f -> Some (desc, Error f) | None -> None))
     | _ -> None)
 
+let entry_of_payload (payload : string) : entry option =
+  if String.length payload >= 5 && String.sub payload 0 5 = "blob " then
+    match
+      try Some (Scanf.sscanf payload "blob %S %S" (fun name content -> (name, content)))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+    with
+    | Some (name, content) -> Some (Blob (name, content))
+    | None -> None
+  else Option.map (fun (desc, o) -> Meas (desc, o)) (payload_to payload)
+
 (* ------------------------------------------------------------------ *)
 (* The store                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -168,7 +190,7 @@ type corrupt_line = { cl_line : int; cl_reason : string }
 type t = {
   file : string;
   lock : Mutex.t;  (* guards every mutable field and the channel *)
-  index : (string, string * outcome) Hashtbl.t;  (* key -> (desc, outcome) *)
+  index : (string, entry) Hashtbl.t;  (* key -> measurement or blob *)
   mutable oc : out_channel option;  (* None after [close] *)
   mutable corrupt : corrupt_line list;  (* rejected records, load order *)
   mutable loaded : int;  (* entries accepted from the existing file *)
@@ -178,7 +200,7 @@ type t = {
 let record_line (key : string) (payload : string) : string =
   Printf.sprintf "e %s %s %s\n" key (Digest.to_hex (Digest.string payload)) payload
 
-let parse_record (line : string) : (string * string * outcome, string) result =
+let parse_record (line : string) : (string * entry, string) result =
   let fail reason = Error reason in
   if String.length line < 2 || String.sub line 0 2 <> "e " then fail "unknown record tag"
   else if String.length line < 2 + 32 + 1 + 32 + 1 then fail "short record"
@@ -193,8 +215,8 @@ let parse_record (line : string) : (string * string * outcome, string) result =
       else if Digest.to_hex (Digest.string payload) <> sum then
         fail "checksum mismatch (bit rot or torn write)"
       else
-        match payload_to payload with
-        | Some (desc, o) -> Ok (key, desc, o)
+        match entry_of_payload payload with
+        | Some e -> Ok (key, e)
         | None -> fail "unparseable payload"
 
 (* Open (creating if absent) the store at [file].  An existing file's
@@ -238,8 +260,8 @@ let open_ ~(file : string) : t =
           | Some line ->
             incr lineno;
             (match parse_record line with
-            | Ok (key, desc, o) ->
-              Hashtbl.replace t.index key (desc, o);
+            | Ok (key, e) ->
+              Hashtbl.replace t.index key e;
               t.loaded <- t.loaded + 1
             | Error reason ->
               t.corrupt <- { cl_line = !lineno; cl_reason = reason } :: t.corrupt);
@@ -262,7 +284,12 @@ let entries t : int = Mutex.protect t.lock (fun () -> Hashtbl.length t.index)
 let file t : string = t.file
 
 let get t (key : string) : outcome option =
-  Mutex.protect t.lock (fun () -> Option.map snd (Hashtbl.find_opt t.index key))
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.index key with Some (Meas (_, o)) -> Some o | _ -> None)
+
+let get_blob t (key : string) : string option =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.index key with Some (Blob (_, c)) -> Some c | _ -> None)
 
 let mem t (key : string) : bool = Mutex.protect t.lock (fun () -> Hashtbl.mem t.index key)
 
@@ -270,16 +297,24 @@ let mem t (key : string) : bool = Mutex.protect t.lock (fun () -> Hashtbl.mem t.
    before the lock drops (atomic with respect to every other writer on
    this handle).  A key already present is left untouched — outcomes
    are deterministic, so the first write is as good as any. *)
-let put t ~(key : string) ~(desc : string) (o : outcome) : unit =
+let put_entry t ~(key : string) ~(payload : string) (e : entry) : unit =
   Mutex.protect t.lock (fun () ->
       if not (Hashtbl.mem t.index key) then begin
         (match t.oc with
         | None -> invalid_arg "Store.put: store is closed"
         | Some oc ->
-          output_string oc (record_line key (payload_of desc o));
+          output_string oc (record_line key payload);
           flush oc);
-        Hashtbl.replace t.index key (desc, o)
+        Hashtbl.replace t.index key e
       end)
+
+let put t ~(key : string) ~(desc : string) (o : outcome) : unit =
+  put_entry t ~key ~payload:(payload_of desc o) (Meas (desc, o))
+
+(* Record an opaque artifact under [key]; same first-write-wins
+   discipline as measurements. *)
+let put_blob t ~(key : string) ~(name : string) (content : string) : unit =
+  put_entry t ~key ~payload:(payload_of_blob ~name content) (Blob (name, content))
 
 let close t : unit =
   Mutex.protect t.lock (fun () ->

@@ -1,0 +1,226 @@
+(* The tiered superoptimizer: discover a verified peephole rule
+   database for the PTX ISA.
+
+   Discovery enumerates short canonical windows ([Ptx.Window]), guesses
+   cheaper single-instruction replacements, and pushes each candidate
+   pair through the [Ptx.Equiv] funnel: quick fixed vectors, then the
+   adversarial bounded sweep, with exhaustive proof on enumerable
+   domains.  A rule is admitted only if it survives the funnel *and*
+   wins under the target machine's issue latencies — the same
+   [Gpu.Arch.latencies] the simulator charges, so "cheaper" here is
+   cheaper on the machine being tuned, not in instruction count.
+
+   Determinism: windows are enumerated in a fixed order, per-window work
+   is farmed over [Util.Pool.map] (order-preserving, jobs-invariant),
+   and every random sweep is seeded from the candidate pair's own text.
+   The resulting database is therefore bit-identical for any [--jobs],
+   which is what lets CI pin its digest.
+
+   Caching: the database is an ordinary blob in [Store], keyed on the
+   arch digest, the evaluator's semantics version and the discovery
+   parameters.  Change the machine, the evaluator's meaning, or the
+   search bounds and the key changes; nothing can ever serve rules
+   verified under different semantics. *)
+
+type funnel = {
+  fn_lhs : int;  (* windows enumerated *)
+  fn_pairs : int;  (* candidate pairs that beat the cost filter *)
+  fn_quick : int;  (* rejected by the quick fixed vectors *)
+  fn_bounded : int;  (* rejected by the adversarial bounded sweep *)
+  fn_exhaustive : int;  (* rejected by exhaustive enumeration *)
+  fn_unsupported : int;  (* outside the funnel's quantification *)
+  fn_passed : int;  (* verified equivalent (best-per-window kept) *)
+}
+
+let empty_funnel =
+  {
+    fn_lhs = 0;
+    fn_pairs = 0;
+    fn_quick = 0;
+    fn_bounded = 0;
+    fn_exhaustive = 0;
+    fn_unsupported = 0;
+    fn_passed = 0;
+  }
+
+let add_funnel a b =
+  {
+    fn_lhs = a.fn_lhs + b.fn_lhs;
+    fn_pairs = a.fn_pairs + b.fn_pairs;
+    fn_quick = a.fn_quick + b.fn_quick;
+    fn_bounded = a.fn_bounded + b.fn_bounded;
+    fn_exhaustive = a.fn_exhaustive + b.fn_exhaustive;
+    fn_unsupported = a.fn_unsupported + b.fn_unsupported;
+    fn_passed = a.fn_passed + b.fn_passed;
+  }
+
+type result = {
+  rules : Ptx.Patterns.rule list;
+  funnel : funnel;
+  elapsed_s : float;
+  cached : bool;  (* answered from the store, funnel counters empty *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Issue cost of one instruction, in SP cycles per warp: the simulator
+   charges [sfu_issue] for transcendental F1 ops and [issue] for
+   everything else, and that asymmetry (16 vs 4 on the G80) is exactly
+   what makes rsqrt-fusion-style rules profitable. *)
+let instr_cycles (arch : Gpu.Arch.t) (i : Ptx.Instr.t) : int =
+  let lat = arch.Gpu.Arch.latencies in
+  if Ptx.Instr.is_sfu i then lat.Gpu.Arch.sfu_issue else lat.Gpu.Arch.issue
+
+let seq_cycles (arch : Gpu.Arch.t) (seq : Ptx.Instr.t list) : int =
+  List.fold_left (fun acc i -> acc + instr_cycles arch i) 0 seq
+
+(* Strict-improvement order: cycles, then static size, then non-mov
+   count, then total operand reads.  The later components admit rules
+   that win no cycles but strictly simplify (fmad a,1,c -> add; selp
+   with equal arms -> mov), which downstream passes then exploit. *)
+let cost_key (arch : Gpu.Arch.t) (seq : Ptx.Instr.t list) : int * int * int * int =
+  let non_mov =
+    List.length (List.filter (function Ptx.Instr.Mov _ -> false | _ -> true) seq)
+  in
+  let reads = List.fold_left (fun acc i -> acc + List.length (Ptx.Instr.operands i)) 0 seq in
+  (seq_cycles arch seq, List.length seq, non_mov, reads)
+
+(* ------------------------------------------------------------------ *)
+(* Discovery                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Verify one window: try every cost-improving rewrite, keep the
+   cheapest survivor.  Returns the rule (if any) plus this window's
+   funnel counters. *)
+let superopt_window ~(arch : Gpu.Arch.t) ~(sweep : int) (lhs : Ptx.Instr.t list) :
+    Ptx.Patterns.rule option * funnel =
+  let counters = ref { empty_funnel with fn_lhs = 1 } in
+  let bump f = counters := f !counters in
+  (* A closed window computes constants; feed its folded outputs to the
+     rewrite generator so const-fold rules are expressible. *)
+  let extra_fimms, extra_iimms =
+    if Ptx.Window.inputs lhs <> [] then ([], [])
+    else
+      match Ptx.Equiv.eval_window [] lhs with
+      | outs ->
+        ( List.filter_map (function _, Ptx.Equiv.VF x -> Some x | _ -> None) outs,
+          List.filter_map (function _, Ptx.Equiv.VI x -> Some x | _ -> None) outs )
+      | exception Ptx.Equiv.Stuck _ -> ([], [])
+  in
+  let lhs_cost = cost_key arch lhs in
+  let candidates =
+    Ptx.Window.rewrites ~extra_fimms ~extra_iimms lhs
+    |> List.filter (fun rhs -> cost_key arch rhs < lhs_cost)
+  in
+  let survivors =
+    List.filter_map
+      (fun rhs ->
+        bump (fun c -> { c with fn_pairs = c.fn_pairs + 1 });
+        match Ptx.Equiv.check ~sweep lhs rhs with
+        | Ptx.Equiv.Equivalent tier -> Some (rhs, tier)
+        | Ptx.Equiv.Refuted (Ptx.Equiv.Quick, _) ->
+          bump (fun c -> { c with fn_quick = c.fn_quick + 1 });
+          None
+        | Ptx.Equiv.Refuted (Ptx.Equiv.Bounded, _) ->
+          bump (fun c -> { c with fn_bounded = c.fn_bounded + 1 });
+          None
+        | Ptx.Equiv.Refuted (Ptx.Equiv.Exhaustive, _) ->
+          bump (fun c -> { c with fn_exhaustive = c.fn_exhaustive + 1 });
+          None
+        | Ptx.Equiv.Unsupported _ ->
+          bump (fun c -> { c with fn_unsupported = c.fn_unsupported + 1 });
+          None)
+      candidates
+  in
+  let best =
+    List.fold_left
+      (fun acc (rhs, tier) ->
+        match acc with
+        | None -> Some (rhs, tier)
+        | Some (rhs0, _) -> if cost_key arch rhs < cost_key arch rhs0 then Some (rhs, tier) else acc)
+      None survivors
+  in
+  match best with
+  | None -> (None, !counters)
+  | Some (rhs, tier) -> (
+    let saved = max 0 (seq_cycles arch lhs - seq_cycles arch rhs) in
+    let rule = { Ptx.Patterns.lhs; rhs; tier; saved } in
+    (* Admission requires a bitwise serialization round trip: a rule
+       whose constants the text format cannot carry exactly (NaN
+       payloads, say) must not enter the database, where reloading it
+       would mean applying a different rewrite than the one verified. *)
+    match Ptx.Patterns.of_line_opt (Ptx.Patterns.to_line rule) with
+    | Some rule' when Ptx.Patterns.equal_rule rule rule' ->
+      bump (fun c -> { c with fn_passed = c.fn_passed + 1 });
+      (Some rule, !counters)
+    | _ -> (None, !counters))
+
+let discover ?(jobs = 1) ?(arch = Gpu.Arch.g80) ?(max_len = 2) ?(sweep = 128) () : result =
+  let t0 = Unix.gettimeofday () in
+  let lhss =
+    Ptx.Window.enumerate ~len:1 ()
+    @ (if max_len >= 2 then Ptx.Window.enumerate ~vocab:Ptx.Window.pair_vocab ~len:2 () else [])
+  in
+  let results = Util.Pool.map ~jobs (superopt_window ~arch ~sweep) lhss in
+  let rules = List.filter_map fst results in
+  let funnel = List.fold_left (fun acc (_, c) -> add_funnel acc c) empty_funnel results in
+  { rules; funnel; elapsed_s = Unix.gettimeofday () -. t0; cached = false }
+
+(* ------------------------------------------------------------------ *)
+(* Store caching                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let blob_name = "ptx-rules"
+
+let db_key ?arch ?(max_len = 2) ?(sweep = 128) () : string =
+  Store.hex
+    (String.concat "|"
+       [
+         blob_name;
+         Store.arch_digest ?arch ();
+         Ptx.Equiv.semantics_version;
+         string_of_int max_len;
+         string_of_int sweep;
+       ])
+
+let discover_cached ?store ?(jobs = 1) ?(arch = Gpu.Arch.g80) ?(max_len = 2) ?(sweep = 128) () :
+    result =
+  match store with
+  | None -> discover ~jobs ~arch ~max_len ~sweep ()
+  | Some st -> (
+    let key = db_key ~arch ~max_len ~sweep () in
+    match Store.get_blob st key with
+    | Some content ->
+      { rules = Ptx.Patterns.of_string content; funnel = empty_funnel; elapsed_s = 0.0; cached = true }
+    | None ->
+      let r = discover ~jobs ~arch ~max_len ~sweep () in
+      Store.put_blob st ~key ~name:blob_name (Ptx.Patterns.to_string r.rules);
+      r)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let funnel_table (f : funnel) : string =
+  Report.table
+    [ "Stage"; "Count" ]
+    [
+      [ "windows enumerated"; string_of_int f.fn_lhs ];
+      [ "pairs past cost filter"; string_of_int f.fn_pairs ];
+      [ "rejected: quick vectors"; string_of_int f.fn_quick ];
+      [ "rejected: bounded sweep"; string_of_int f.fn_bounded ];
+      [ "rejected: exhaustive"; string_of_int f.fn_exhaustive ];
+      [ "unsupported"; string_of_int f.fn_unsupported ];
+      [ "rules admitted"; string_of_int f.fn_passed ];
+    ]
+
+let tier_counts (rules : Ptx.Patterns.rule list) : int * int * int =
+  List.fold_left
+    (fun (q, b, e) (r : Ptx.Patterns.rule) ->
+      match r.Ptx.Patterns.tier with
+      | Ptx.Equiv.Quick -> (q + 1, b, e)
+      | Ptx.Equiv.Bounded -> (q, b + 1, e)
+      | Ptx.Equiv.Exhaustive -> (q, b, e + 1))
+    (0, 0, 0) rules

@@ -76,3 +76,26 @@ let live_after_each (t : t) (cfg : Cfg.t) (i : int) : Reg.Set.t array =
     List.iter (fun r -> live := Reg.Set.add r !live) (Instr.uses body.(j))
   done;
   after
+
+(* Dead-store lint: every instruction whose defined register is dead on
+   every path out of its position.  DCE would delete these — so on an
+   optimized kernel the list is empty, and a nonempty answer on a
+   hand-written kernel means wasted issue slots (or a dropped result).
+   Memory and barrier effects have no defined register and are never
+   reported; a dead [Ld] *is* reported (its load still costs cycles,
+   but its result does not flow anywhere). *)
+let dead_defs (k : Prog.t) : (string * int * Instr.t) list =
+  let cfg = Cfg.of_kernel k in
+  let live = compute cfg in
+  let out = ref [] in
+  List.iteri
+    (fun bi (b : Prog.block) ->
+      let after = live_after_each live cfg bi in
+      List.iteri
+        (fun j i ->
+          match Instr.def i with
+          | Some d when not (Reg.Set.mem d after.(j)) -> out := (b.label, j, i) :: !out
+          | _ -> ())
+        b.body)
+    k.blocks;
+  List.rev !out

@@ -1,0 +1,111 @@
+(* The verified peephole rule database.
+
+   A rule is a pair of canonical windows with the proof tier the funnel
+   reached and the cycle win it was admitted for.  The database is a
+   plain, sorted, line-oriented text format so it can be diffed,
+   digest-pinned in CI, and cached content-addressed in [Tuner.Store]
+   as an ordinary blob.  Serialization reuses [Pp]/[Parser] so a rule's
+   wire form is exactly its instruction syntax — and a rule that does
+   not survive a print/parse round trip bitwise (e.g. one whose
+   constant's NaN payload the pretty-printer cannot express) is
+   rejected at discovery time rather than silently mutated. *)
+
+open Instr
+
+type rule = {
+  lhs : t list;  (* canonical window this rule replaces *)
+  rhs : t list;  (* replacement; registers name lhs slots *)
+  tier : Equiv.tier;  (* proof strength the funnel reached *)
+  saved : int;  (* issue-cycle win under the discovery arch *)
+}
+
+let outputs (r : rule) : Reg.t list = Window.defs r.rhs
+
+(* Registers the lhs defined but the rhs does not: applying the rule
+   leaves them undefined, so the site must prove them dead. *)
+let clobbers (r : rule) : Reg.t list =
+  let outs = outputs r in
+  List.filter (fun d -> not (List.exists (Reg.equal d) outs)) (Window.defs r.lhs)
+
+let wellformed (r : rule) : bool =
+  let mem rs x = List.exists (Reg.equal x) rs in
+  r.lhs <> []
+  && Window.is_pure r.lhs && Window.is_pure r.rhs
+  && Window.is_canonical r.lhs
+  && outputs r <> []
+  && List.for_all (mem (Window.defs r.lhs)) (outputs r)
+  && List.for_all (mem (Window.inputs r.lhs)) (Window.inputs r.rhs)
+  && r.saved >= 0
+
+let equal_rule (a : rule) (b : rule) : bool =
+  Window.equal_seq a.lhs b.lhs && Window.equal_seq a.rhs b.rhs && a.tier = b.tier
+  && a.saved = b.saved
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One rule per line:
+     p <tier> <saved> <lhs instrs> => <rhs instrs>
+   where instruction sequences are [Pp.instr] forms joined by single
+   spaces (each instruction ends in ';', so the joint is unambiguous). *)
+
+let to_line (r : rule) : string =
+  Printf.sprintf "p %s %d %s => %s" (Equiv.tier_name r.tier) r.saved (Window.key r.lhs)
+    (Window.key r.rhs)
+
+(* Parse an instruction sequence by wrapping it in a one-block kernel
+   and reusing the real parser. *)
+let seq_of_string (s : string) : t list option =
+  let text =
+    Printf.sprintf ".kernel rule ()\n.smem 0 .lmem 0\n{\nB0: .weight 1\n%s\nret;\n}\n" s
+  in
+  match Parser.kernel_of_string text with
+  | k -> (
+    match k.Prog.blocks with [ b ] -> Some b.Prog.body | _ -> None)
+  | exception _ -> None
+
+let of_line_opt (line : string) : rule option =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some _ -> (
+    let parts = String.split_on_char ' ' line in
+    match parts with
+    | "p" :: tier_s :: saved_s :: rest -> (
+      match (Equiv.tier_of_name tier_s, int_of_string_opt saved_s) with
+      | Some tier, Some saved -> (
+        let body = String.concat " " rest in
+        match String.index_opt body '\x00' with
+        | Some _ -> None
+        | None -> (
+          (* Split on the (unique) " => " separator. *)
+          let sep = " => " in
+          let rec find i =
+            if i + String.length sep > String.length body then None
+            else if String.sub body i (String.length sep) = sep then Some i
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> None
+          | Some i -> (
+            let lhs_s = String.sub body 0 i in
+            let rhs_s =
+              String.sub body (i + String.length sep)
+                (String.length body - i - String.length sep)
+            in
+            match (seq_of_string lhs_s, seq_of_string rhs_s) with
+            | Some lhs, Some rhs ->
+              let r = { lhs; rhs; tier; saved } in
+              if wellformed r then Some r else None
+            | _ -> None)))
+      | _ -> None)
+    | _ -> None)
+
+let to_string (rules : rule list) : string =
+  String.concat "" (List.map (fun r -> to_line r ^ "\n") rules)
+
+let of_string (s : string) : rule list =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line -> if line = "" then None else of_line_opt line)
+
+let digest (rules : rule list) : string = Digest.to_hex (Digest.string (to_string rules))
