@@ -5,6 +5,7 @@
      gpuopt archs                list the machine-model registry
      gpuopt explore <app>        exhaustive vs pruned search, one app
      gpuopt tune <app>           pruned-only search (the methodology)
+     gpuopt predict <app>        model-driven race: probe, fit, rank, halve
      gpuopt inspect <app>        optimization space; --trace one config
      gpuopt lint <app>           static memory-access analysis
      gpuopt compile <file.mcu>   minicuda -> PTX, resources, profile
@@ -56,8 +57,9 @@ let rules_flag =
   in
   Arg.(value & flag & info [ "rules" ] ~doc)
 
-let rules_extra ?store ~jobs rules_on (arch : Gpu.Arch.t) :
-    Tuner.Pipeline.ptx_pass list option =
+(* The rule database itself (explore/tune wrap it into a pipeline pass;
+   the predictor also feeds it to the rule-win feature). *)
+let rules_db ?store ~jobs rules_on (arch : Gpu.Arch.t) : Ptx.Patterns.rule list option =
   if not rules_on then None
   else begin
     let r = Tuner.Superopt.discover_cached ?store ~jobs ~arch () in
@@ -65,8 +67,47 @@ let rules_extra ?store ~jobs rules_on (arch : Gpu.Arch.t) :
       (List.length r.Tuner.Superopt.rules)
       (if r.Tuner.Superopt.cached then " (from store)" else "")
       (Ptx.Patterns.digest r.Tuner.Superopt.rules);
-    Some [ Tuner.Pipeline.peephole r.Tuner.Superopt.rules ]
+    Some r.Tuner.Superopt.rules
   end
+
+let rules_extra ?store ~jobs rules_on (arch : Gpu.Arch.t) :
+    Tuner.Pipeline.ptx_pass list option =
+  Option.map
+    (fun rs -> [ Tuner.Pipeline.peephole rs ])
+    (rules_db ?store ~jobs rules_on arch)
+
+(* Shared by explore/predict: the model-driven race's full-simulation
+   budget, as a percentage of the valid space. *)
+let budget_arg =
+  let doc =
+    "Full-simulation budget of the model-driven race, as a percentage of the valid space \
+     (default 10).  The race fully simulates at most this many candidates — probes plus \
+     survivors — and races the rest at the reduced launch shape."
+  in
+  let pct =
+    let parse s =
+      match int_of_string_opt s with
+      | Some p when p >= 1 && p <= 100 -> Ok p
+      | _ -> Error (`Msg (Printf.sprintf "expected a percentage in 1..100, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some pct) None & info [ "budget" ] ~docv:"PCT" ~doc)
+
+let budget_frac = Option.map (fun pct -> float_of_int pct /. 100.0)
+
+let print_prune_outcome (r : Tuner.Search.result) =
+  match r.Tuner.Search.prune with
+  | None -> ()
+  | Some o ->
+    Printf.printf "\nmodel-driven race (%d full simulations budgeted of %d):\n" o.Tuner.Prune.pr_budget
+      o.Tuner.Prune.pr_total;
+    print_string (Tuner.Report.prune_table r);
+    Printf.printf "race winner:    %s  (%.4f ms)\n" o.Tuner.Prune.pr_winner.Tuner.Measure.cand.desc
+      (o.Tuner.Prune.pr_winner.Tuner.Measure.time_s *. 1000.0);
+    Printf.printf "model %s fit on %d probe(s)\n"
+      (Tuner.Predict.digest o.Tuner.Prune.pr_model)
+      o.Tuner.Prune.pr_model.Tuner.Predict.md_rows
 
 (* Shared by explore/tune/lint/request: which machine model to target.
    The registry names plus "all" (explore/tune only: sweep every
@@ -216,9 +257,22 @@ let explore_cmd =
             "Abort the sweep on the first measurement fault instead of recording it and \
              searching over the survivors.")
   in
+  let predict_flag =
+    let doc =
+      "Also run the model-driven race: fit a ridge predictor on a seeded probe set, rank the \
+       whole space by predicted runtime, race the top of the ranking at the reduced (quick) \
+       launch shape, and fully simulate only the survivors (see $(b,--budget)).  Reported \
+       next to the Pareto pruning, with whether the race recovered the true optimum."
+    in
+    Arg.(value & flag & info [ "predict" ] ~doc)
+  in
   let run (e : Apps.Registry.entry) jobs quick stats checkpoint fail_fast store_file arch_name
-      rules =
+      rules predict budget =
     if arch_name = "all" then begin
+      if predict then begin
+        Printf.eprintf "explore: --predict races one space at a time; not supported with --arch all\n";
+        exit 2
+      end;
       (* Cross-arch sweep: arch is the outer enumeration axis; one
          engine (and store binding) per arch, then the per-arch winner
          table and greppable winner lines. *)
@@ -246,10 +300,25 @@ let explore_cmd =
     let r =
       try
         with_store store_file (fun store ->
-            Tuner.Search.run ~jobs ~fail_fast ?checkpoint ?store
+            let db = rules_db ?store ~jobs rules arch in
+            let extra_ptx = Option.map (fun rs -> [ Tuner.Pipeline.peephole rs ]) db in
+            let pspec =
+              if not predict then None
+              else
+                (* A quick target IS the reduced shape already: race it
+                   against itself rather than a larger space. *)
+                let reduced =
+                  if quick then candidates_of ~arch ?extra_ptx e quick
+                  else e.reduced_candidates ~arch ?extra_ptx ()
+                in
+                Some
+                  (Tuner.Prune.spec ~rules:(Option.value db ~default:[]) ~reduced ())
+            in
+            Tuner.Search.run ~jobs ~fail_fast ?checkpoint ?store ?predict:pspec
+              ?budget_frac:(budget_frac budget)
               ~store_scale:(if quick then "quick" else "full")
               ~app_name:e.name
-              (candidates_of ~arch ?extra_ptx:(rules_extra ?store ~jobs rules arch) e quick))
+              (candidates_of ~arch ?extra_ptx e quick))
       with
       | Tuner.Fault.Fail { desc; fault } ->
         Printf.eprintf "fault in %s: %s\n" desc (Tuner.Fault.to_string fault);
@@ -263,6 +332,7 @@ let explore_cmd =
     print_string (Tuner.Report.figure6 r);
     Printf.printf "\n";
     print_string (Tuner.Report.table Tuner.Report.table4_header [ Tuner.Report.table4_row r ]);
+    print_prune_outcome r;
     Printf.printf "\ntrue optimum:   %s  (%.4f ms)\n" r.best.cand.desc (r.best.time_s *. 1000.0);
     Printf.printf "pruned search:  %s  (%.4f ms)\n" r.selected_best.cand.desc
       (r.selected_best.time_s *. 1000.0);
@@ -290,7 +360,87 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ app_arg $ jobs_arg $ quick_arg $ stats_arg $ checkpoint_arg $ fail_fast_arg
-      $ store_arg $ arch_name_arg $ rules_flag)
+      $ store_arg $ arch_name_arg $ rules_flag $ predict_flag $ budget_arg)
+
+let predict_cmd =
+  let doc =
+    "Run the model-driven race alone, without the exhaustive sweep: measure a seeded probe \
+     set, fit the ridge runtime predictor on it, rank the whole space by prediction, race the \
+     top of the ranking at the reduced launch shape, and fully simulate only the survivors.  \
+     Prints the fitted model (standardized weights, largest first), the head of the predicted \
+     ranking, and the winner.  Unlike $(b,gpuopt explore --predict) this never measures the \
+     rest of the space, so it cannot say whether the winner is the true optimum — it is the \
+     production mode the budget buys."
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows of the predicted ranking (and model weights) to print.")
+  in
+  let run (e : Apps.Registry.entry) jobs quick store_file arch_name rules budget top =
+    let arch = resolve_arch arch_name in
+    with_store store_file (fun store ->
+        let db = rules_db ?store ~jobs rules arch in
+        let extra_ptx = Option.map (fun rs -> [ Tuner.Pipeline.peephole rs ]) db in
+        let cands = candidates_of ~arch ?extra_ptx e quick in
+        let reduced = if quick then cands else e.reduced_candidates ~arch ?extra_ptx () in
+        let plan =
+          match budget_frac budget with
+          | None -> Tuner.Prune.default_plan
+          | Some f -> { Tuner.Prune.default_plan with Tuner.Prune.pl_budget_frac = f }
+        in
+        let spec =
+          Tuner.Prune.spec ~plan ~rules:(Option.value db ~default:[]) ~reduced ()
+        in
+        let scale = if quick then "quick" else "full" in
+        let engine = Tuner.Measure.create ~app_name:e.name () in
+        Tuner.Search.bind_store engine ~app_name:e.name cands ~store ~store_key:None
+          ~store_scale:(Some scale);
+        let o =
+          try
+            Tuner.Prune.run ~jobs ?store ~store_scale:scale ~engine ~app_name:e.name spec cands
+          with Tuner.Fault.Fail { desc; fault } ->
+            Printf.eprintf "fault in %s: %s\n" desc (Tuner.Fault.to_string fault);
+            exit 1
+        in
+        Printf.printf "%d valid configurations; budget %d full simulation(s) (%.1f%%)\n"
+          o.Tuner.Prune.pr_total o.Tuner.Prune.pr_budget
+          (100.0 *. float_of_int o.Tuner.Prune.pr_budget /. float_of_int o.Tuner.Prune.pr_total);
+        Printf.printf "probes (%d): %s\n" (List.length o.Tuner.Prune.pr_probes)
+          (String.concat ", " o.Tuner.Prune.pr_probes);
+        Printf.printf "\nmodel %s fit on %d probe(s); strongest standardized weights:\n"
+          (Tuner.Predict.digest o.Tuner.Prune.pr_model)
+          o.Tuner.Prune.pr_model.Tuner.Predict.md_rows;
+        List.iteri
+          (fun i (name, w) ->
+            if i < top then Printf.printf "  %-20s %+.4f\n" name w)
+          (Tuner.Predict.weight_table o.Tuner.Prune.pr_model);
+        Printf.printf "\npredicted ranking (top %d of %d):\n" (min top o.Tuner.Prune.pr_total)
+          o.Tuner.Prune.pr_total;
+        List.iteri
+          (fun i (desc, pred_s) ->
+            if i < top then Printf.printf "  %2d. %-28s %.4f ms predicted\n" (i + 1) desc (pred_s *. 1000.0))
+          o.Tuner.Prune.pr_ranked;
+        Printf.printf
+          "\nraced %d at the reduced shape (%d without a reduced twin); %d survivor(s): %s\n"
+          o.Tuner.Prune.pr_raced o.Tuner.Prune.pr_reduced_missing
+          (List.length o.Tuner.Prune.pr_survivors)
+          (String.concat ", " o.Tuner.Prune.pr_survivors);
+        Printf.printf "fully simulated %d of %d (%.1f%%)\n" o.Tuner.Prune.pr_simulated
+          o.Tuner.Prune.pr_total
+          (100.0 *. float_of_int o.Tuner.Prune.pr_simulated /. float_of_int o.Tuner.Prune.pr_total);
+        Printf.printf "winner: %s  (%.4f ms simulated)\n"
+          o.Tuner.Prune.pr_winner.Tuner.Measure.cand.desc
+          (o.Tuner.Prune.pr_winner.Tuner.Measure.time_s *. 1000.0);
+        winner_line arch o.Tuner.Prune.pr_winner;
+        if store_file <> None then
+          Printf.printf "result store: %d hit(s), %d miss(es)\n" (Tuner.Measure.store_hits engine)
+            (Tuner.Measure.store_misses engine))
+  in
+  Cmd.v (Cmd.info "predict" ~doc)
+    Term.(
+      const run $ app_arg $ jobs_arg $ quick_arg $ store_arg $ arch_name_arg $ rules_flag
+      $ budget_arg $ top_arg)
 
 let chaos_cmd =
   let doc =
@@ -819,7 +969,7 @@ let request_cmd =
   let print_row tag (r : Tuner.Proto.measured_row) =
     Printf.printf "%s %s  (%.4f ms simulated)\n" tag r.m_desc (r.m_time_s *. 1000.0)
   in
-  let run socket verb app scale chaos config arch =
+  let run socket verb app scale chaos config arch predict =
     let req =
       match verb with
       | "ping" -> Tuner.Proto.Ping
@@ -834,6 +984,7 @@ let request_cmd =
             chaos =
               Option.map (fun (seed, count) -> { Tuner.Proto.ch_seed = seed; ch_count = count }) chaos;
             arch;
+            predict;
           }
       | "lint" -> Tuner.Proto.Lint { app = need_app verb app; config }
       | _ -> assert false
@@ -867,6 +1018,21 @@ let request_cmd =
           x.x_runs x.x_store_hits;
         print_row "true optimum: " x.x_best;
         print_row "pruned search:" x.x_selected_best;
+        (match x.x_prune with
+        | None -> ()
+        | Some p ->
+          Printf.printf
+            "model race: %d probe(s) + %d survivor(s) = %d of %d fully simulated (%.1f%%), %d \
+             raced; optimum predicted rank %s; %s\n"
+            p.p_probes
+            (p.p_simulated - p.p_probes)
+            p.p_simulated p.p_total
+            (100.0 *. float_of_int p.p_simulated /. float_of_int p.p_total)
+            p.p_raced
+            (if p.p_rank > 0 then Printf.sprintf "%d/%d" p.p_rank p.p_total else "-")
+            (if p.p_recovered then "optimum recovered" else "optimum MISSED");
+          print_row "race winner:  " p.p_winner;
+          Printf.printf "model %s\n" p.p_model);
         List.iter
           (fun (f : Tuner.Proto.fault_row) -> Printf.printf "fault: %s: %s\n" f.f_desc f.f_fault)
           x.x_faults
@@ -881,10 +1047,17 @@ let request_cmd =
     let doc = "Target machine model for tune/explore, by registry name (server-validated)." in
     Arg.(value & opt (some string) None & info [ "arch" ] ~docv:"NAME" ~doc)
   in
+  let req_predict_arg =
+    let doc =
+      "Ask the server to also run the model-driven race on an explore request and report its \
+       pruning ratio and winner (ignored with $(b,--chaos))."
+    in
+    Arg.(value & flag & info [ "predict" ] ~doc)
+  in
   Cmd.v (Cmd.info "request" ~doc)
     Term.(
       const run $ socket_arg $ verb_arg $ req_app_arg $ scale_arg $ chaos_arg $ config_arg
-      $ req_arch_arg)
+      $ req_arch_arg $ req_predict_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Superoptimizer                                                      *)
@@ -993,6 +1166,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            arch_cmd; archs_cmd; explore_cmd; tune_cmd; inspect_cmd; lint_cmd; compile_cmd;
-            run_cmd; chaos_cmd; serve_cmd; request_cmd; superopt_cmd; rules_cmd;
+            arch_cmd; archs_cmd; explore_cmd; tune_cmd; predict_cmd; inspect_cmd; lint_cmd;
+            compile_cmd; run_cmd; chaos_cmd; serve_cmd; request_cmd; superopt_cmd; rules_cmd;
           ]))

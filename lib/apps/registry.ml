@@ -22,7 +22,12 @@ type entry = {
          verified peephole leg) to every candidate's schedule *)
   quick_candidates :
     ?arch:Gpu.Arch.t -> ?extra_ptx:Tuner.Pipeline.ptx_pass list -> unit -> Tuner.Candidate.t list;
-      (* tiny smoke-test problem *)
+      (* tiny smoke-test problem ([Workbench.Smoke]) *)
+  reduced_candidates :
+    ?arch:Gpu.Arch.t -> ?extra_ptx:Tuner.Pipeline.ptx_pass list -> unit -> Tuner.Candidate.t list;
+      (* the shared reduced race/lint shape ([Workbench.Reduced]):
+         sequential work cut down, parallel grid at full scale, so the
+         predictor's halving race ranks candidates faithfully *)
   bench_candidates :
     ?arch:Gpu.Arch.t -> ?extra_ptx:Tuner.Pipeline.ptx_pass list -> unit -> Tuner.Candidate.t list;
       (* bench-harness problem *)
@@ -44,7 +49,7 @@ let entry (type c) ~name ~display ~title ~(space : c Tuner.Space.t) ~(describe :
         ?hook:(Tuner.Pipeline.stat -> unit) ->
         ?analyze:Tuner.Pipeline.analysis_input ->
         c ->
-        Tuner.Pipeline.compiled) ~workbench ~candidates ~quick ~bench () : entry =
+        Tuner.Pipeline.compiled) ~workbench ~candidates ~quick ~reduced ~bench () : entry =
   {
     name;
     display;
@@ -55,6 +60,7 @@ let entry (type c) ~name ~display ~title ~(space : c Tuner.Space.t) ~(describe :
     configs = lazy (List.map describe (Tuner.Space.configs space));
     candidates;
     quick_candidates = quick;
+    reduced_candidates = reduced;
     bench_candidates = bench;
     compile =
       (fun ?verify ?hook ?analyze desc ->
@@ -71,7 +77,8 @@ let matmul =
     ~compile:(fun ?verify ?hook ?analyze c -> Matmul.compile ?verify ?hook ?analyze c)
     ~workbench:(fun ?arch ?config () -> Workbench.matmul ?arch ?config ())
     ~candidates:(fun ?arch ?extra_ptx () -> Matmul.candidates ?arch ?extra_ptx ())
-    ~quick:(fun ?arch ?extra_ptx () -> Matmul.candidates ?arch ?extra_ptx ~n:64 ~max_blocks:2 ())
+    ~quick:(fun ?arch ?extra_ptx () -> Workbench.Smoke.matmul ?arch ?extra_ptx ())
+    ~reduced:(fun ?arch ?extra_ptx () -> Workbench.Reduced.matmul ?arch ?extra_ptx ())
     ~bench:(fun ?arch ?extra_ptx () -> Matmul.candidates ?arch ?extra_ptx ~n:256 ~max_blocks:8 ())
     ()
 
@@ -81,7 +88,8 @@ let cp =
     ~compile:(fun ?verify ?hook ?analyze c -> Cp.compile ?verify ?hook ?analyze c)
     ~workbench:(fun ?arch ?config () -> Workbench.cp ?arch ?config ())
     ~candidates:(fun ?arch ?extra_ptx () -> Cp.candidates ?arch ?extra_ptx ())
-    ~quick:(fun ?arch ?extra_ptx () -> Cp.candidates ?arch ?extra_ptx ~npx:256 ~npy:16 ~natoms:16 ~max_blocks:2 ())
+    ~quick:(fun ?arch ?extra_ptx () -> Workbench.Smoke.cp ?arch ?extra_ptx ())
+    ~reduced:(fun ?arch ?extra_ptx () -> Workbench.Reduced.cp ?arch ?extra_ptx ())
     ~bench:(fun ?arch ?extra_ptx () -> Cp.candidates ?arch ?extra_ptx ())
     ()
 
@@ -91,7 +99,8 @@ let sad =
     ~compile:(fun ?verify ?hook ?analyze c -> Sad.compile ?verify ?hook ?analyze c)
     ~workbench:(fun ?arch ?config () -> Workbench.sad ?arch ?config ())
     ~candidates:(fun ?arch ?extra_ptx () -> Sad.candidates ?arch ?extra_ptx ())
-    ~quick:(fun ?arch ?extra_ptx () -> Sad.candidates ?arch ?extra_ptx ~w:32 ~h:16 ~sr:2 ~max_blocks:2 ())
+    ~quick:(fun ?arch ?extra_ptx () -> Workbench.Smoke.sad ?arch ?extra_ptx ())
+    ~reduced:(fun ?arch ?extra_ptx () -> Workbench.Reduced.sad ?arch ?extra_ptx ())
     ~bench:(fun ?arch ?extra_ptx () -> Sad.candidates ?arch ?extra_ptx ())
     ()
 
@@ -101,7 +110,8 @@ let mri_fhd =
     ~compile:(fun ?verify ?hook ?analyze c -> Mri_fhd.compile ?verify ?hook ?analyze c)
     ~workbench:(fun ?arch ?config () -> Workbench.mri ?arch ?config ())
     ~candidates:(fun ?arch ?extra_ptx () -> Mri_fhd.candidates ?arch ?extra_ptx ())
-    ~quick:(fun ?arch ?extra_ptx () -> Mri_fhd.candidates ?arch ?extra_ptx ~nsamples:8 ~nvox:3360 ~max_blocks:1 ())
+    ~quick:(fun ?arch ?extra_ptx () -> Workbench.Smoke.mri ?arch ?extra_ptx ())
+    ~reduced:(fun ?arch ?extra_ptx () -> Workbench.Reduced.mri ?arch ?extra_ptx ())
     ~bench:(fun ?arch ?extra_ptx () -> Mri_fhd.candidates ?arch ?extra_ptx ())
     ()
 

@@ -66,7 +66,17 @@ let resolver () : Tuner.Serve.resolver =
               | Some k -> k
               | None -> Tuner.Store.candidate_key ~arch:arch_d ~space c
             in
-            let sp = { Tuner.Serve.sp_cands = cands; sp_store_key } in
+            (* The reduced race space is the registry's reduced builder
+               on the same arch — the shared [Workbench.Reduced] shapes,
+               so served predict-explores race exactly what the CLI and
+               the lint workbenches use.  A quick space already is a
+               reduced shape, so it races against itself. *)
+            let sp_reduced =
+              match scale with
+              | Tuner.Proto.Quick -> lazy cands
+              | Tuner.Proto.Bench | Tuner.Proto.Full -> lazy (e.reduced_candidates ~arch ())
+            in
+            let sp = { Tuner.Serve.sp_cands = cands; sp_store_key; sp_reduced } in
             Hashtbl.replace cache memo_key sp;
             Ok sp)
   in

@@ -103,7 +103,15 @@ type request =
   | Shutdown
   | Tune of { app : string; scale : scale; arch : string option }
       (* the paper's methodology: measure only the Pareto subset *)
-  | Explore of { app : string; scale : scale; chaos : chaos_spec option; arch : string option }
+  | Explore of {
+      app : string;
+      scale : scale;
+      chaos : chaos_spec option;
+      arch : string option;
+      predict : bool;
+          (* also run the model-driven race (PR 9); absent on the wire
+             for pre-predictor clients, which decodes as [false] *)
+    }
       (* exhaustive vs pruned sweep; [chaos] injects seeded faults *)
   | Lint of { app : string; config : string option }
 
@@ -113,6 +121,22 @@ type measured_row = { m_desc : string; m_time_s : float }
 (* One per-candidate fault, in the journal encoding ([Fault.to_journal]).
    Kept as a string at this layer so the protocol stays pure. *)
 type fault_row = { f_desc : string; f_fault : string }
+
+(* Summary of one model-driven race ([Prune.outcome]), flattened to
+   what a client can print: how much was simulated, what won, and where
+   the true optimum sat in the prediction-only ranking.  [p_rank] is
+   1-based; 0 means the optimum never entered the ranking (it was
+   invalid or the space was empty). *)
+type prune_row = {
+  p_total : int;  (* valid configurations ranked *)
+  p_probes : int;  (* measured to fit the predictor *)
+  p_raced : int;  (* raced at the reduced shape *)
+  p_simulated : int;  (* fully simulated: probes + survivors *)
+  p_winner : measured_row;
+  p_rank : int;
+  p_recovered : bool;  (* winner matches the exhaustive optimum's time *)
+  p_model : string;  (* fitted-model digest, the bit-identity pin *)
+}
 
 type tune_reply = {
   t_app : string;
@@ -138,6 +162,7 @@ type explore_reply = {
   x_faults : fault_row list;
   x_runs : int;
   x_store_hits : int;
+  x_prune : prune_row option;  (* present iff the request asked [predict] *)
 }
 
 type server_stats = {
@@ -194,6 +219,18 @@ let jrow (r : measured_row) : Util.Json.t =
   Obj [ ("desc", Str r.m_desc); ("time", jfloat r.m_time_s) ]
 let jfault (r : fault_row) : Util.Json.t =
   Obj [ ("desc", Str r.f_desc); ("fault", Str r.f_fault) ]
+let jprune (p : prune_row) : Util.Json.t =
+  Obj
+    [
+      ("total", Int p.p_total);
+      ("probes", Int p.p_probes);
+      ("raced", Int p.p_raced);
+      ("simulated", Int p.p_simulated);
+      ("winner", jrow p.p_winner);
+      ("rank", Int p.p_rank);
+      ("recovered", Bool p.p_recovered);
+      ("model", Str p.p_model);
+    ]
 
 let encode_request (r : request) : string =
   let open Util.Json in
@@ -206,10 +243,11 @@ let encode_request (r : request) : string =
       Obj
         ([ ("type", Str "tune"); ("app", Str app); ("scale", Str (scale_name scale)) ]
         @ match arch with None -> [] | Some a -> [ ("arch", Str a) ])
-    | Explore { app; scale; chaos; arch } ->
+    | Explore { app; scale; chaos; arch; predict } ->
       Obj
         ([ ("type", Str "explore"); ("app", Str app); ("scale", Str (scale_name scale)) ]
         @ (match arch with None -> [] | Some a -> [ ("arch", Str a) ])
+        @ (if predict then [ ("predict", Bool true) ] else [])
         @
         match chaos with
         | None -> []
@@ -253,7 +291,7 @@ let encode_response (r : response) : string =
         ]
     | Explore_r x ->
       Obj
-        [
+        ([
           ("type", Str "explore");
           ("app", Str x.x_app);
           ("arch", Str x.x_arch);
@@ -269,6 +307,7 @@ let encode_response (r : response) : string =
           ("runs", Int x.x_runs);
           ("store_hits", Int x.x_store_hits);
         ]
+        @ match x.x_prune with None -> [] | Some p -> [ ("prune", jprune p) ])
     | Lint_r { l_report; l_errors } ->
       Obj [ ("type", Str "lint"); ("report", Str l_report); ("errors", Bool l_errors) ]
     | Error_r { e_code; e_msg } ->
@@ -344,6 +383,31 @@ let opt_str_field (v : Util.Json.t) (k : string) : string option =
 let arch_field (v : Util.Json.t) : string =
   match opt_str_field v "arch" with Some a -> a | None -> "g80"
 
+(* Optional boolean flag — absent means [false] (used for [predict],
+   which pre-predictor clients never send). *)
+let flag_field (v : Util.Json.t) (k : string) : bool =
+  match Util.Json.member k v with
+  | None -> false
+  | Some (Bool b) -> b
+  | Some _ -> shape "field %S is not a boolean" k
+
+let prune_of (v : Util.Json.t) : prune_row =
+  let winner =
+    match Util.Json.member "winner" v with
+    | Some w -> row_of w
+    | None -> shape "missing field \"winner\""
+  in
+  {
+    p_total = int_field v "total";
+    p_probes = int_field v "probes";
+    p_raced = int_field v "raced";
+    p_simulated = int_field v "simulated";
+    p_winner = winner;
+    p_rank = int_field v "rank";
+    p_recovered = bool_field v "recovered";
+    p_model = str_field v "model";
+  }
+
 let decode (what : string) (of_json : Util.Json.t -> 'a) (text : string) :
     ('a, decode_error) result =
   match Util.Json.of_string text with
@@ -367,7 +431,13 @@ let request_of_json (v : Util.Json.t) : request =
       | Some c -> Some { ch_seed = int_field c "seed"; ch_count = int_field c "count" }
     in
     Explore
-      { app = str_field v "app"; scale = scale_field v; chaos; arch = opt_str_field v "arch" }
+      {
+        app = str_field v "app";
+        scale = scale_field v;
+        chaos;
+        arch = opt_str_field v "arch";
+        predict = flag_field v "predict";
+      }
   | "lint" -> Lint { app = str_field v "app"; config = opt_str_field v "config" }
   | t -> shape "unknown request type %S" t
 
@@ -420,6 +490,8 @@ let response_of_json (v : Util.Json.t) : response =
         x_faults = List.map fault_of (list_field v "faults");
         x_runs = int_field v "runs";
         x_store_hits = int_field v "store_hits";
+        x_prune =
+          (match Util.Json.member "prune" v with None -> None | Some p -> Some (prune_of p));
       }
   | "lint" -> Lint_r { l_report = str_field v "report"; l_errors = bool_field v "errors" }
   | "error" ->

@@ -165,6 +165,48 @@ let table4_header =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Pruning-ratio table (model-driven race vs Pareto vs exhaustive)     *)
+(* ------------------------------------------------------------------ *)
+
+let prune_header =
+  [
+    "Kernel";
+    "Space";
+    "Probes";
+    "Raced";
+    "Full sims";
+    "Simulated";
+    "Pareto";
+    "Opt rank";
+    "Recovered";
+  ]
+
+(* One row per app: how much of the space the model-driven race fully
+   simulated, side by side with the paper methodology's own Pareto
+   reduction on the same space, plus where the true optimum sat in the
+   prediction-only ranking.  Requires [r.prune = Some _]. *)
+let prune_row (r : Search.result) : string list =
+  match r.prune with
+  | None -> invalid_arg (r.app_name ^ ": no prune outcome to report")
+  | Some o ->
+    [
+      r.app_name;
+      string_of_int o.Prune.pr_total;
+      string_of_int (List.length o.Prune.pr_probes);
+      string_of_int o.Prune.pr_raced;
+      string_of_int o.Prune.pr_simulated;
+      Printf.sprintf "%.1f%%"
+        (100.0 *. float_of_int o.Prune.pr_simulated /. float_of_int o.Prune.pr_total);
+      Printf.sprintf "%.1f%%" (100.0 *. (1.0 -. r.reduction));
+      (match Prune.rank_of o r.best.cand.desc with
+      | Some k -> Printf.sprintf "%d/%d" k o.Prune.pr_total
+      | None -> "-");
+      (if Prune.recovered o ~best:r.best then "yes" else "NO");
+    ]
+
+let prune_table (r : Search.result) : string = table prune_header [ prune_row r ]
+
+(* ------------------------------------------------------------------ *)
 (* Fault table                                                         *)
 (* ------------------------------------------------------------------ *)
 

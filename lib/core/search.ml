@@ -53,6 +53,10 @@ type result = {
          differences as "identical or nearly identical"; we use 2%)? *)
   optimum_exact : bool;  (* strict version: the argmin itself selected *)
   engine : engine_stats;  (* measurement-engine and simulator counters *)
+  prune : Prune.outcome option;
+      (* the model-driven race's outcome when [?predict] was given:
+         what a budget-bounded search would have simulated and chosen,
+         measured against this result's exhaustive ground truth *)
 }
 
 let measure (c : Candidate.t) : measured = { cand = c; time_s = c.run () }
@@ -125,9 +129,17 @@ let bind_store engine ~(app_name : string) (cands : Candidate.t list) ~store ~st
    [?store] attaches the persistent content-addressed store: points it
    already holds are answered without the simulator, and new
    measurements are appended for every later client (see [bind_store]
-   for [?store_key] / [?store_scale]). *)
+   for [?store_key] / [?store_scale]).
+
+   [?predict] additionally runs the model-driven race ([Prune.run])
+   against the same engine.  Because the exhaustive sweep has already
+   filled the cache, the race's probe and survivor measurements cost
+   nothing extra here — its structural counts still report what a
+   budget-only run would have simulated.  [?budget_frac] overrides the
+   spec's full-simulation budget. *)
 let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ?store ?store_key
-    ?store_scale ~(app_name : string) (cands : Candidate.t list) : result =
+    ?store_scale ?predict ?budget_frac ~(app_name : string) (cands : Candidate.t list) : result
+    =
   let valid, invalid = List.partition (fun (c : Candidate.t) -> c.valid) cands in
   if valid = [] then invalid_arg (app_name ^ ": no valid configuration in the space");
   let all = List.map (fun c -> (c, Metrics.of_candidate c)) valid in
@@ -208,6 +220,18 @@ let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ?store ?store_
       let space_size = List.length valid in
       let n_survivors = List.length exhaustive in
       let n_sel = List.length selected in
+      let prune =
+        match predict with
+        | None -> None
+        | Some (spec : Prune.spec) ->
+          let spec =
+            match budget_frac with
+            | None -> spec
+            | Some f ->
+              { spec with Prune.sp_plan = { spec.Prune.sp_plan with Prune.pl_budget_frac = f } }
+          in
+          Some (Prune.run ?jobs ?store ?store_scale ~engine ~app_name spec valid)
+      in
       {
         app_name;
         space_size;
@@ -237,6 +261,7 @@ let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ?store ?store_
             store_hits = Measure.store_hits engine;
             store_misses = Measure.store_misses engine;
           };
+        prune;
       })
 
 (* Pruned-only search: what a user of the methodology actually runs —

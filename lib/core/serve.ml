@@ -45,6 +45,10 @@ type resolved_space = {
   sp_store_key : Candidate.t -> string;
       (* memoized content address for this (app, scale, arch) space, so
          a request does not re-render PTX to digest the space *)
+  sp_reduced : Candidate.t list Lazy.t;
+      (* the app's reduced-shape (quick) space on the same arch — the
+         racing rung of a predict-flagged explore; lazy because most
+         requests never ask for it *)
 }
 
 type resolver = {
@@ -146,8 +150,8 @@ let handle_tune t ~app ~scale ~(arch : string option) : Proto.response =
         t_store_hits = r.tune_engine.store_hits;
       }
 
-let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) ~(arch : string option) :
-    Proto.response =
+let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) ~(arch : string option)
+    ~(predict : bool) : Proto.response =
   let arch = Option.value arch ~default:default_arch_name in
   match t.resolver.rv_space ~app ~scale ~arch with
   | Error (e_code, e_msg) -> Error_r { e_code; e_msg }
@@ -155,12 +159,25 @@ let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) ~(arch : str
     let r =
       match chaos with
       | None ->
-        Search.run ?jobs:t.jobs ~store:t.store ~store_key:sp.sp_store_key ~app_name:app
-          sp.sp_cands
+        (* The model-driven race runs on the server's default plan with
+           no rule database: rule discovery is a per-store artifact and
+           pulling it in here would make replies depend on superopt
+           state.  Probes and survivors flow through the same
+           store-bound engine as the exhaustive sweep, so a warm store
+           answers the race for free. *)
+        let pspec =
+          if predict then
+            Some (Prune.spec ~reduced:(Lazy.force sp.sp_reduced) ())
+          else None
+        in
+        Search.run ?jobs:t.jobs ?predict:pspec ~store:t.store ~store_key:sp.sp_store_key
+          ~app_name:app sp.sp_cands
       | Some { ch_seed; ch_count } ->
         (* Injected faults are synthetic: measuring them through the
            store would record them under healthy candidates' content
-           addresses.  Chaos sweeps therefore run store-less. *)
+           addresses.  Chaos sweeps therefore run store-less (and
+           ignore [predict]: a race over injected faults would compare
+           synthetic times). *)
         let cands, _injections = Chaos.inject ~seed:ch_seed ~count:ch_count sp.sp_cands in
         Search.run ?jobs:t.jobs ~app_name:app cands
     in
@@ -184,6 +201,21 @@ let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) ~(arch : str
             r.faults;
         x_runs = r.engine.measure_runs;
         x_store_hits = r.engine.store_hits;
+        x_prune =
+          (match r.prune with
+          | None -> None
+          | Some o ->
+            Some
+              {
+                Proto.p_total = o.Prune.pr_total;
+                p_probes = List.length o.Prune.pr_probes;
+                p_raced = o.Prune.pr_raced;
+                p_simulated = o.Prune.pr_simulated;
+                p_winner = row_of_measured o.Prune.pr_winner;
+                p_rank = Option.value (Prune.rank_of o r.best.cand.desc) ~default:0;
+                p_recovered = Prune.recovered o ~best:r.best;
+                p_model = Predict.digest o.Prune.pr_model;
+              });
       }
 
 (* Dispatch one decoded request.  Total: anything the machinery throws
@@ -199,7 +231,8 @@ let handle t (req : Proto.request) : Proto.response =
         request_stop t;
         Bye
       | Proto.Tune { app; scale; arch } -> handle_tune t ~app ~scale ~arch
-      | Proto.Explore { app; scale; chaos; arch } -> handle_explore t ~app ~scale ~chaos ~arch
+      | Proto.Explore { app; scale; chaos; arch; predict } ->
+        handle_explore t ~app ~scale ~chaos ~arch ~predict
       | Proto.Lint { app; config } -> (
         match t.resolver.rv_lint ~app ~config with
         | Ok (l_report, l_errors) -> Lint_r { l_report; l_errors }

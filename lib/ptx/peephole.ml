@@ -42,9 +42,17 @@ let site_clobbers (r : Patterns.rule) (window : t list) : Reg.t list =
     (fun d -> match Reg.Map.find_opt d renaming with Some c -> c | None -> d)
     (Patterns.clobbers r)
 
-type stats = { matched : int; blocked : int }
+type stats = {
+  matched : int;
+  blocked : int;
+  saved_cycles : float;
+      (* sum over fired sites of block weight x the rule's [saved]
+         issue-cycle win: the statically expected per-thread cycle
+         saving of the whole rewrite, usable as a cost signal without
+         re-enumerating windows *)
+}
 
-let empty_stats = { matched = 0; blocked = 0 }
+let empty_stats = { matched = 0; blocked = 0; saved_cycles = 0.0 }
 
 let run_stats (rules : Patterns.rule list) (k : Prog.t) : Prog.t * stats =
   let rules = List.filter Patterns.wellformed rules in
@@ -106,12 +114,18 @@ let run_stats (rules : Patterns.rule list) (k : Prog.t) : Prog.t * stats =
                             stats := { !stats with blocked = !stats.blocked + 1 };
                             None
                           end
-                          else Some (repl, len)))
+                          else Some (repl, len, r)))
                 lengths
             in
             match fired with
-            | Some (repl, len) ->
-              stats := { !stats with matched = !stats.matched + 1 };
+            | Some (repl, len, r) ->
+              stats :=
+                {
+                  !stats with
+                  matched = !stats.matched + 1;
+                  saved_cycles =
+                    !stats.saved_cycles +. (b.Prog.weight *. float_of_int r.Patterns.saved);
+                };
               List.iter (fun i -> out := i :: !out) repl;
               j := here + len
             | None ->

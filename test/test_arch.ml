@@ -266,6 +266,7 @@ let serve_tests =
                            scale = P.Quick;
                            chaos = None;
                            arch = Some arch.A.name;
+                           predict = false;
                          })
                   with
                   | P.Explore_r x -> x

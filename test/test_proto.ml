@@ -59,7 +59,7 @@ let gen_request =
         map3 (fun app scale arch -> P.Tune { app; scale; arch }) gen_string gen_scale
           (opt gen_string);
         map2
-          (fun (app, scale) (chaos, arch) -> P.Explore { app; scale; chaos; arch })
+          (fun (app, scale) (chaos, arch) -> P.Explore { app; scale; chaos; arch; predict = false })
           (pair gen_string gen_scale)
           (pair gen_chaos (opt gen_string));
         map2 (fun app config -> P.Lint { app; config }) gen_string (opt gen_string);
@@ -118,6 +118,7 @@ let gen_response =
                 x_faults = faults;
                 x_runs = runs;
                 x_store_hits = hits;
+                x_prune = None;
               })
           (tup6 gen_string small_int small_int gen_row gen_row (small_list gen_string))
           (pair

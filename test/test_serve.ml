@@ -22,7 +22,7 @@ let with_server (f : S.t -> string -> 'a) : 'a =
         (fun () -> f (S.create ~jobs:2 ~store (Apps.Serving.resolver ())) file))
 
 let explore_reply server app : P.explore_reply =
-  match S.handle server (P.Explore { app; scale = P.Quick; chaos = None; arch = None }) with
+  match S.handle server (P.Explore { app; scale = P.Quick; chaos = None; arch = None; predict = false }) with
   | P.Explore_r x -> x
   | _ -> Alcotest.failf "%s: explore did not return Explore_r" app
 
@@ -113,6 +113,7 @@ let cache_tests =
                        scale = P.Quick;
                        chaos = Some { ch_seed = 7; ch_count = 3 };
                        arch = None;
+                       predict = false;
                      })
               with
               | P.Explore_r x -> x
@@ -142,6 +143,7 @@ let cache_tests =
                      scale = P.Quick;
                      chaos = Some { ch_seed = 1; ch_count = 1_000_000 };
                      arch = None;
+                     predict = false;
                    })
             with
             | P.Error_r { e_code = P.Bad_request; _ } -> ()
@@ -211,7 +213,7 @@ let socket_tests =
                     (match S.rpc fd P.Ping with
                     | Ok P.Pong -> ()
                     | _ -> Alcotest.fail "ping failed");
-                    match S.rpc fd (P.Explore { app = "matmul"; scale = P.Quick; chaos = None; arch = None }) with
+                    match S.rpc fd (P.Explore { app = "matmul"; scale = P.Quick; chaos = None; arch = None; predict = false }) with
                     | Ok (P.Explore_r x) ->
                       Alcotest.(check int) "cold sweep over the socket" x.x_space_size x.x_runs
                     | Ok _ -> Alcotest.fail "wrong reply type"
