@@ -849,7 +849,7 @@ let serve () =
   Fun.protect
     ~finally:(fun () -> cleanup store_file; cleanup socket)
     (fun () ->
-      let store = Tuner.Store.open_ ~file:store_file in
+      let store = Tuner.Store.open_ ~file:store_file () in
       Fun.protect
         ~finally:(fun () -> Tuner.Store.close store)
         (fun () ->
@@ -884,7 +884,7 @@ let serve () =
                 let e = registry app in
                 let direct = Tuner.Search.run ~jobs:!jobs ~app_name:app (e.quick_candidates ()) in
                 let t0 = Unix.gettimeofday () in
-                let reply = Srv.call ~socket (P.Explore { app; scale = P.Quick; chaos = None; arch = None; predict = false }) in
+                let reply = Srv.call ~socket (P.Explore { app; scale = P.Quick; chaos = None; arch = None; predict = false; deadline_ms = None }) in
                 let dt = Unix.gettimeofday () -. t0 in
                 match reply with
                 | Ok (P.Explore_r x) -> (app, dt, same_explore direct x)
@@ -903,11 +903,11 @@ let serve () =
               ("chaos",
                P.Explore
                  { app = "matmul"; scale = P.Quick; chaos = Some { P.ch_seed = gi; ch_count = 2 }; arch = None;
-                   predict = false })
+                   predict = false; deadline_ms = None })
             else if gi mod 16 = 5 then ("ping", P.Ping)
             else if gi mod 16 = 13 then ("stats", P.Stats)
-            else if gi mod 4 = 2 then ("tune", P.Tune { app = app_of gi; scale = P.Quick; arch = None })
-            else ("explore", P.Explore { app = app_of gi; scale = P.Quick; chaos = None; arch = None; predict = false })
+            else if gi mod 4 = 2 then ("tune", P.Tune { app = app_of gi; scale = P.Quick; arch = None; deadline_ms = None })
+            else ("explore", P.Explore { app = app_of gi; scale = P.Quick; chaos = None; arch = None; predict = false; deadline_ms = None })
           in
           let validate kind (resp : (P.response, string) result) : string option =
             match (kind, resp) with
@@ -1036,6 +1036,224 @@ let serve () =
           output_string oc (Buffer.contents json);
           close_out oc;
           printf "wrote BENCH_serve.json\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-net: the hardened daemon under wire-level fire                *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon runs in a *forked child* so it can be killed with
+   SIGKILL mid-sweep — a Domain can be asked to stop, but only a
+   process can die without warning.  Three phases:
+
+   - baseline: cold served explores over matmul and cp, checked
+     bit-identical to a direct [Search.run] (the serve exhibit's
+     invariant, re-proved on a durable store);
+   - assault: a seeded schedule of wire faults (torn frames, flipped
+     bytes, slow loris, vanish-before-reply) interleaved with honest
+     clients using the retrying [Serve.call].  The daemon must answer
+     at least 90% of the honest requests, an expired deadline on a
+     cold space must come back as a typed Deadline_exceeded, and the
+     warm store must still answer under that same expired deadline;
+   - kill -9: the daemon dies mid-sweep, the durable store is fsck'd
+     (at most the torn tail lost) and compacted, and a restarted
+     daemon serves warm results bit-identical to the pre-kill ground
+     truth with zero simulator runs.
+
+   Writes BENCH_chaos_net.json.  GPUOPT_CHAOS_STRIKES overrides the
+   assault length (CI runs a reduced battery). *)
+
+let chaos_net_apps = [ "matmul"; "cp" ]
+
+let chaos_net () =
+  let module P = Tuner.Proto in
+  let module Srv = Tuner.Serve in
+  let module CN = Tuner.Chaos.Net in
+  let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let strikes =
+    match Sys.getenv_opt "GPUOPT_CHAOS_STRIKES" with
+    | Some s -> (match int_of_string_opt s with Some n when n >= 4 -> n | _ -> 48)
+    | None -> 48
+  in
+  section
+    (Printf.sprintf "Chaos-net: wire faults, deadlines and kill -9 (%d strikes, durable store)"
+       strikes);
+  Srv.ignore_sigpipe ();
+  let socket = Filename.temp_file "gpuopt-chaos-net-" ".sock" in
+  let store_file = Filename.temp_file "gpuopt-chaos-net-" ".store" in
+  let cleanup f = try Sys.remove f with Sys_error _ -> () in
+  (* Ground truth before any daemon exists: direct sweeps of the same
+     quick spaces the served explores will cover. *)
+  let direct =
+    List.map
+      (fun app -> (app, Tuner.Search.run ~jobs:!jobs ~app_name:app ((registry app).quick_candidates ())))
+      chaos_net_apps
+  in
+  let pair_eq (d, t) (d', t') = d = d' && feq t t' in
+  let same_explore (d : Tuner.Search.result) (x : P.explore_reply) : bool =
+    let got = List.map (fun (r : P.measured_row) -> (r.m_desc, r.m_time_s)) x.x_exhaustive in
+    let want = List.map (fun (m : Tuner.Search.measured) -> (m.cand.desc, m.time_s)) d.exhaustive in
+    x.x_space_size = d.space_size
+    && List.length got = List.length want
+    && List.for_all2 pair_eq want got
+    && pair_eq (d.best.cand.desc, d.best.time_s) (x.x_best.m_desc, x.x_best.m_time_s)
+  in
+  let explore_req ?deadline_ms app =
+    P.Explore { app; scale = P.Quick; chaos = None; arch = None; predict = false; deadline_ms }
+  in
+  (* Daemon child: killable with SIGKILL, which a Domain is not.  The
+     child opens its own durable store handle; stdout is flushed
+     before forking so buffered bench output is not printed twice. *)
+  let rec fork_retry n =
+    (* A domain joined moments ago can still be tearing down, which
+       makes Unix.fork refuse transiently; back off and retry. *)
+    match Unix.fork () with
+    | pid -> pid
+    | exception Failure _ when n > 0 ->
+      Unix.sleepf 0.05;
+      fork_retry (n - 1)
+  in
+  let spawn_daemon () : int =
+    flush stdout;
+    match fork_retry 40 with
+    | 0 ->
+      let code =
+        try
+          let store = Tuner.Store.open_ ~durable:true ~file:store_file () in
+          let server = Srv.create ~jobs:2 ~store (Apps.Serving.resolver ()) in
+          Srv.listen ~conn_workers:2 ~poll_s:0.05 ~io_timeout_s:1.0 server ~socket ();
+          Tuner.Store.close store;
+          0
+        with _ -> 1
+      in
+      Unix._exit code
+    | pid -> pid
+  in
+  let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> () in
+  Fun.protect
+    ~finally:(fun () -> cleanup socket; cleanup store_file)
+    (fun () ->
+      (* ---- baseline: cold served = direct, bit for bit ------------ *)
+      let pid = ref (spawn_daemon ()) in
+      check "daemon comes up in a forked child" (Srv.wait_ready ~socket ());
+      let cold_ok =
+        List.for_all
+          (fun (app, d) ->
+            match Srv.call ~socket (explore_req app) with
+            | Ok (P.Explore_r x) -> same_explore d x
+            | _ -> false)
+          direct
+      in
+      check "cold served explores bit-identical to direct Search.run" cold_ok;
+      (match Srv.call ~socket (explore_req ~deadline_ms:0 "sad") with
+      | Ok (P.Error_r e) ->
+        check "expired deadline on a cold space: typed Deadline_exceeded"
+          (e.e_code = P.Deadline_exceeded)
+      | _ -> check "expired deadline on a cold space: typed Deadline_exceeded" false);
+      (match Srv.call ~socket (explore_req ~deadline_ms:0 "matmul") with
+      | Ok (P.Explore_r x) ->
+        check "warm store answers under the same expired deadline, zero runs"
+          (x.x_runs = 0 && same_explore (List.assoc "matmul" direct) x)
+      | _ -> check "warm store answers under the same expired deadline, zero runs" false);
+      (* ---- assault: seeded wire faults vs honest clients ---------- *)
+      let rng = Util.Rng.create 1907 in
+      let schedule = CN.plan ~seed:1907 ~count:strikes in
+      let ammo = P.encode_request (explore_req "matmul") in
+      let honest_ok = ref 0 and honest_total = ref 0 in
+      List.iteri
+        (fun i fault ->
+          let note =
+            CN.strike ~loris_interval_s:0.2 ~loris_max_bytes:4 ~rng ~socket ~payload:ammo fault
+          in
+          if i < List.length CN.all_faults then
+            printf "  strike %-22s %s\n" (CN.fault_name fault) note;
+          incr honest_total;
+          let req =
+            if i mod 3 = 0 then P.Ping else explore_req (List.nth chaos_net_apps (i mod 2))
+          in
+          match Srv.call ~retries:2 ~retry_base_ms:20 ~socket req with
+          | Ok P.Pong | Ok (P.Explore_r _) -> incr honest_ok
+          | _ -> ())
+        schedule;
+      let tally =
+        List.map
+          (fun f -> (CN.fault_name f, List.length (List.filter (( = ) f) schedule)))
+          CN.all_faults
+      in
+      let avail = float_of_int !honest_ok /. float_of_int (max 1 !honest_total) in
+      printf "assault: %d strikes (%s); honest availability %d/%d (%.1f%%)\n" strikes
+        (String.concat ", " (List.map (fun (n, c) -> Printf.sprintf "%s %d" n c) tally))
+        !honest_ok !honest_total (100.0 *. avail);
+      check "honest availability under fire >= 90%" (avail >= 0.90);
+      let warm_ok =
+        List.for_all
+          (fun (app, d) ->
+            match Srv.call ~socket (explore_req app) with
+            | Ok (P.Explore_r x) -> x.x_runs = 0 && same_explore d x
+            | _ -> false)
+          direct
+      in
+      check "post-assault warm explores: zero simulator runs, bit-identical" warm_ok;
+      (* ---- kill -9 mid-sweep, fsck, restart ------------------------ *)
+      (* The victim is a raw connection rather than a client domain:
+         fork (for the restart below) must not race a domain teardown,
+         and a dead stream is exactly what a killed daemon looks like
+         on the wire anyway. *)
+      let victim = CN.connect ~socket in
+      let frame = P.frame (P.encode_request (explore_req "sad")) in
+      (try CN.write_all victim frame 0 (String.length frame) with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.1;
+      Unix.kill !pid Sys.sigkill;
+      reap !pid;
+      (match CN.await_reaction ~timeout_s:2.0 victim with
+      | `Reply _ -> printf "  victim sweep finished before the kill landed\n"
+      | `Closed | `Silent -> printf "  victim client saw the daemon die mid-sweep\n");
+      CN.close_quietly victim;
+      let report = Tuner.Store.fsck ~file:store_file in
+      printf "  fsck after kill -9: %d records, %d valid, %d corrupt, %d reclaimable bytes\n"
+        report.Tuner.Store.fs_records report.Tuner.Store.fs_valid
+        (List.length report.Tuner.Store.fs_corrupt)
+        report.Tuner.Store.fs_reclaimable;
+      check "kill -9 loses at most the torn tail (fsck: <= 1 corrupt record)"
+        (List.length report.Tuner.Store.fs_corrupt <= 1);
+      let _, reclaimed = Tuner.Store.compact ~file:store_file in
+      let clean = Tuner.Store.fsck ~file:store_file in
+      check "compacted store is clean (0 corrupt, 0 duplicates)"
+        (clean.Tuner.Store.fs_corrupt = [] && clean.Tuner.Store.fs_duplicates = 0);
+      printf "  compact reclaimed %d bytes\n" reclaimed;
+      pid := spawn_daemon ();
+      check "daemon restarts on the killed store" (Srv.wait_ready ~socket ());
+      let post_ok =
+        List.for_all
+          (fun (app, d) ->
+            match Srv.call ~socket (explore_req app) with
+            | Ok (P.Explore_r x) -> x.x_runs = 0 && same_explore d x
+            | _ -> false)
+          direct
+      in
+      check "post-restart warm explores bit-identical, zero simulator runs" post_ok;
+      (match Srv.call ~socket (explore_req "sad") with
+      | Ok (P.Explore_r x) ->
+        let d = Tuner.Search.run ~jobs:!jobs ~app_name:"sad" ((registry "sad").quick_candidates ()) in
+        check "interrupted sweep completes after restart, bit-identical" (same_explore d x)
+      | _ -> check "interrupted sweep completes after restart, bit-identical" false);
+      (match Srv.call ~socket P.Shutdown with
+      | Ok P.Bye -> ()
+      | _ -> check "shutdown acknowledged" false);
+      reap !pid;
+      check "socket unlinked on clean shutdown" (not (Sys.file_exists socket));
+      (* ---- BENCH_chaos_net.json ------------------------------------ *)
+      let json = Buffer.create 512 in
+      Printf.bprintf json
+        "{\n  \"bench\": \"chaos_net\",\n  \"strikes\": %d,\n  \"availability\": %.6f,\n  \"honest_ok\": %d,\n  \"honest_total\": %d,\n  \"faults\": {%s},\n  \"fsck_after_kill\": {\"records\": %d, \"valid\": %d, \"corrupt\": %d, \"reclaimable_bytes\": %d},\n  \"compact_reclaimed_bytes\": %d\n}\n"
+        strikes avail !honest_ok !honest_total
+        (String.concat ", " (List.map (fun (n, c) -> Printf.sprintf "\"%s\": %d" n c) tally))
+        report.Tuner.Store.fs_records report.Tuner.Store.fs_valid
+        (List.length report.Tuner.Store.fs_corrupt)
+        report.Tuner.Store.fs_reclaimable reclaimed;
+      let oc = open_out "BENCH_chaos_net.json" in
+      output_string oc (Buffer.contents json);
+      close_out oc;
+      printf "wrote BENCH_chaos_net.json\n")
 
 (* ------------------------------------------------------------------ *)
 (* Superopt: the tiered rule-discovery funnel                          *)
@@ -1269,6 +1487,7 @@ let experiments =
     ("bechamel", bechamel);
     ("chaos", chaos);
     ("serve", serve);
+    ("chaos_net", chaos_net);
     ("superopt", superopt);
     ("prune", prune);
   ]

@@ -145,7 +145,7 @@ let with_store store_file (f : Tuner.Store.t option -> 'a) : 'a =
   match store_file with
   | None -> f None
   | Some file ->
-    let store = Tuner.Store.open_ ~file in
+    let store = Tuner.Store.open_ ~file () in
     List.iter
       (fun (c : Tuner.Store.corrupt_line) ->
         Printf.eprintf "store: %s:%d rejected: %s\n%!" file c.cl_line c.cl_reason)
@@ -891,8 +891,15 @@ let serve_cmd =
     let doc = "Connection-worker domains (concurrent requests in flight)." in
     Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc)
   in
-  let run socket store_file conns jobs =
-    let store = Tuner.Store.open_ ~file:store_file in
+  let durable_arg =
+    let doc =
+      "fsync the store after every appended record: a machine crash (not just a process crash) \
+       loses no completed measurement, at the cost of one disk sync per new store entry."
+    in
+    Arg.(value & flag & info [ "durable" ] ~doc)
+  in
+  let run socket store_file conns jobs durable =
+    let store = Tuner.Store.open_ ~durable ~file:store_file () in
     List.iter
       (fun (c : Tuner.Store.corrupt_line) ->
         Printf.eprintf "store: %s:%d rejected: %s\n%!" store_file c.cl_line c.cl_reason)
@@ -904,7 +911,10 @@ let serve_cmd =
       (Tuner.Store.loaded store)
       (if Tuner.Store.loaded store = 1 then "y" else "ies")
       conns jobs;
-    Tuner.Serve.listen ~conn_workers:conns server ~socket ();
+    (* SIGTERM (systemd stop, timeout(1), an operator's kill) drains
+       gracefully: in-flight sweeps finish, their results reach the
+       store, then the daemon exits through the normal path below. *)
+    Tuner.Serve.listen ~conn_workers:conns ~on_sigterm:true server ~socket ();
     let s = Tuner.Serve.stats server in
     Tuner.Store.close store;
     Printf.printf
@@ -914,7 +924,8 @@ let serve_cmd =
       (if s.sv_store_entries = 1 then "y" else "ies")
       store_file
   in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ socket_arg $ store_arg $ conns_arg $ jobs_arg)
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ store_arg $ conns_arg $ jobs_arg $ durable_arg)
 
 let request_cmd =
   let doc =
@@ -969,13 +980,14 @@ let request_cmd =
   let print_row tag (r : Tuner.Proto.measured_row) =
     Printf.printf "%s %s  (%.4f ms simulated)\n" tag r.m_desc (r.m_time_s *. 1000.0)
   in
-  let run socket verb app scale chaos config arch predict =
+  let run socket verb app scale chaos config arch predict deadline_ms retries =
+    Tuner.Serve.ignore_sigpipe ();
     let req =
       match verb with
       | "ping" -> Tuner.Proto.Ping
       | "stats" -> Tuner.Proto.Stats
       | "shutdown" -> Tuner.Proto.Shutdown
-      | "tune" -> Tuner.Proto.Tune { app = need_app verb app; scale; arch }
+      | "tune" -> Tuner.Proto.Tune { app = need_app verb app; scale; arch; deadline_ms }
       | "explore" ->
         Tuner.Proto.Explore
           {
@@ -985,11 +997,12 @@ let request_cmd =
               Option.map (fun (seed, count) -> { Tuner.Proto.ch_seed = seed; ch_count = count }) chaos;
             arch;
             predict;
+            deadline_ms;
           }
       | "lint" -> Tuner.Proto.Lint { app = need_app verb app; config }
       | _ -> assert false
     in
-    match Tuner.Serve.call ~socket req with
+    match Tuner.Serve.call ~retries ~socket req with
     | Error msg ->
       Printf.eprintf "request: %s (is `gpuopt serve --socket %s` running?)\n" msg socket;
       exit 1
@@ -1039,6 +1052,10 @@ let request_cmd =
       | Tuner.Proto.Lint_r { l_report; l_errors } ->
         print_string l_report;
         if l_errors then exit 1
+      | Tuner.Proto.Overloaded_r { o_retry_after_ms } ->
+        Printf.eprintf "server overloaded: retry after %d ms (or pass --retries)\n"
+          o_retry_after_ms;
+        exit 1
       | Tuner.Proto.Error_r { e_code; e_msg } ->
         Printf.eprintf "server error [%s]: %s\n" (Tuner.Proto.error_code_name e_code) e_msg;
         exit 1)
@@ -1054,10 +1071,74 @@ let request_cmd =
     in
     Arg.(value & flag & info [ "predict" ] ~doc)
   in
+  let deadline_arg =
+    let doc =
+      "Deadline in milliseconds for tune/explore: the server abandons the sweep at the next \
+       candidate boundary past the deadline and answers with a typed $(i,deadline-exceeded) \
+       error.  Measurements completed before the cutoff are stored, so a retry resumes from \
+       them."
+    in
+    Arg.(value & opt (some int) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry transport failures and typed $(i,overloaded) sheds up to $(i,N) times with \
+       jittered exponential backoff.  Safe: measurements are content-addressed, so a retried \
+       sweep never repeats completed work."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
   Cmd.v (Cmd.info "request" ~doc)
     Term.(
       const run $ socket_arg $ verb_arg $ req_app_arg $ scale_arg $ chaos_arg $ config_arg
-      $ req_arch_arg $ req_predict_arg)
+      $ req_arch_arg $ req_predict_arg $ deadline_arg $ retries_arg)
+
+let store_cmd =
+  let doc =
+    "Maintain a content-addressed result store file offline.  Verbs: $(b,fsck) $(i,FILE) \
+     scans and reports valid / duplicate / corrupt records without modifying anything; \
+     $(b,compact) $(i,FILE) rewrites the file down to its valid deduplicated records \
+     (fsync + atomic rename) and reports the bytes reclaimed.  Run against a store no daemon \
+     has open for writing."
+  in
+  let verb_arg =
+    let verbs = [ "fsck"; "compact" ] in
+    let parse s = if List.mem s verbs then Ok s else Error (`Msg ("unknown verb " ^ s)) in
+    Arg.(
+      required
+      & pos 0 (some (conv (parse, Format.pp_print_string))) None
+      & info [] ~docv:"VERB" ~doc:"fsck | compact")
+  in
+  let file_pos_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Store file to check.")
+  in
+  let print_report (r : Tuner.Store.fsck_report) =
+    Printf.printf "%s: %d byte(s), %d record(s): %d valid, %d duplicate(s), %d corrupt\n"
+      r.fs_file r.fs_bytes r.fs_records r.fs_valid r.fs_duplicates (List.length r.fs_corrupt);
+    List.iter
+      (fun (c : Tuner.Store.corrupt_line) ->
+        Printf.printf "  line %d: %s\n" c.cl_line c.cl_reason)
+      r.fs_corrupt
+  in
+  let run verb file =
+    if not (Sys.file_exists file) then begin
+      Printf.eprintf "store %s: %s: no such file\n" verb file;
+      exit 2
+    end;
+    match verb with
+    | "fsck" ->
+      let r = Tuner.Store.fsck ~file in
+      print_report r;
+      Printf.printf "reclaimable: %d byte(s)\n" r.fs_reclaimable;
+      (* Like fsck(8): nonzero exit when the file needs attention. *)
+      if r.fs_corrupt <> [] || r.fs_duplicates > 0 then exit 1
+    | "compact" ->
+      let r, reclaimed = Tuner.Store.compact ~file in
+      print_report r;
+      Printf.printf "compacted: %d byte(s) reclaimed\n" reclaimed
+    | _ -> assert false
+  in
+  Cmd.v (Cmd.info "store" ~doc) Term.(const run $ verb_arg $ file_pos_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Superoptimizer                                                      *)
@@ -1167,5 +1248,5 @@ let () =
        (Cmd.group info
           [
             arch_cmd; archs_cmd; explore_cmd; tune_cmd; predict_cmd; inspect_cmd; lint_cmd;
-            compile_cmd; run_cmd; chaos_cmd; serve_cmd; request_cmd; superopt_cmd; rules_cmd;
+            compile_cmd; run_cmd; chaos_cmd; serve_cmd; request_cmd; store_cmd; superopt_cmd; rules_cmd;
           ]))

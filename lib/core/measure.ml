@@ -312,8 +312,15 @@ let interrupted t =
    (default [Pool.default_jobs ()]), skipping those already settled in
    the cache (including those loaded from a checkpoint journal, and
    those settled as faults).  Returns one (candidate, outcome) pair per
-   input, in input order. *)
-let measure_outcomes ?jobs t (cands : Candidate.t list) : (Candidate.t * outcome) list =
+   input, in input order.
+
+   [?cancel] is a cooperative cancellation token checked between
+   candidates, exactly like the journal-budget abort: once it trips,
+   remaining thunks skip the simulator, and if any requested outcome is
+   still unsettled the sweep aborts with [Cancel.Cancelled].  Already
+   settled outcomes (cache, journal, store) still answer, so an expired
+   deadline over warm data completes instead of failing. *)
+let measure_outcomes ?jobs ?cancel t (cands : Candidate.t list) : (Candidate.t * outcome) list =
   (* Decide what actually needs the simulator before spawning workers;
      duplicates within one batch collapse to a single run, and the
      result store (when attached) settles candidates any client has
@@ -346,12 +353,16 @@ let measure_outcomes ?jobs t (cands : Candidate.t list) : (Candidate.t * outcome
                 true)
           cands)
   in
+  let cancelled () =
+    match cancel with Some cl -> Cancel.cancelled cl | None -> false
+  in
   let results =
     Util.Pool.map_result ?jobs
       (fun (c : Candidate.t) ->
-        (* Once the journal budget killed the sweep, remaining thunks
-           skip the simulator: their outcomes would be discarded. *)
-        if interrupted t then ()
+        (* Once the journal budget killed the sweep — or the caller's
+           cancellation token tripped — remaining thunks skip the
+           simulator: their outcomes would be discarded or unwanted. *)
+        if interrupted t || cancelled () then ()
         else begin
           (* The content address digests the candidate's PTX: compute it
              on the worker, off the engine lock. *)
@@ -369,6 +380,13 @@ let measure_outcomes ?jobs t (cands : Candidate.t list) : (Candidate.t * outcome
   (match Mutex.protect t.lock (fun () -> t.journal) with
   | Some j when j.j_interrupted -> raise (Interrupted { file = j.j_file; journaled = j.j_written })
   | _ -> ());
+  (* A tripped token with outstanding work is a typed abort; with every
+     outcome already settled it is a no-op (warm answers are free). *)
+  if
+    cancelled ()
+    && Mutex.protect t.lock (fun () ->
+           List.exists (fun (c : Candidate.t) -> not (Hashtbl.mem t.cache c.desc)) cands)
+  then raise Cancel.Cancelled;
   Mutex.protect t.lock (fun () ->
       (* Re-read through the cache (not the worker results) so
          duplicates and previously settled candidates resolve

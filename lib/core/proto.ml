@@ -101,7 +101,7 @@ type request =
   | Ping
   | Stats  (* server counters *)
   | Shutdown
-  | Tune of { app : string; scale : scale; arch : string option }
+  | Tune of { app : string; scale : scale; arch : string option; deadline_ms : int option }
       (* the paper's methodology: measure only the Pareto subset *)
   | Explore of {
       app : string;
@@ -111,6 +111,10 @@ type request =
       predict : bool;
           (* also run the model-driven race (PR 9); absent on the wire
              for pre-predictor clients, which decodes as [false] *)
+      deadline_ms : int option;
+          (* give up after this many milliseconds of server-side work
+             and answer [Deadline_exceeded]; absent (pre-hardening
+             clients) means no deadline *)
     }
       (* exhaustive vs pruned sweep; [chaos] injects seeded faults *)
   | Lint of { app : string; config : string option }
@@ -179,18 +183,21 @@ type error_code =
   | Bad_request  (* well-formed protocol, unsatisfiable content *)
   | Protocol_error  (* unparseable frame or message *)
   | Server_error  (* the handler itself failed *)
+  | Deadline_exceeded  (* the request's deadline_ms expired mid-work *)
 
 let error_code_name = function
   | Unknown_app -> "unknown-app"
   | Bad_request -> "bad-request"
   | Protocol_error -> "protocol-error"
   | Server_error -> "server-error"
+  | Deadline_exceeded -> "deadline-exceeded"
 
 let error_code_of_name = function
   | "unknown-app" -> Some Unknown_app
   | "bad-request" -> Some Bad_request
   | "protocol-error" -> Some Protocol_error
   | "server-error" -> Some Server_error
+  | "deadline-exceeded" -> Some Deadline_exceeded
   | _ -> None
 
 type response =
@@ -201,6 +208,10 @@ type response =
   | Explore_r of explore_reply
   | Lint_r of { l_report : string; l_errors : bool }
   | Error_r of { e_code : error_code; e_msg : string }
+  | Overloaded_r of { o_retry_after_ms : int }
+      (* the accept queue shed this connection; retry after the hinted
+         backoff — safe, because content-addressed store keys make
+         every request idempotent *)
 
 type decode_error =
   | Bad_json of string  (* not JSON at all *)
@@ -239,15 +250,17 @@ let encode_request (r : request) : string =
     | Ping -> Obj [ ("type", Str "ping") ]
     | Stats -> Obj [ ("type", Str "stats") ]
     | Shutdown -> Obj [ ("type", Str "shutdown") ]
-    | Tune { app; scale; arch } ->
+    | Tune { app; scale; arch; deadline_ms } ->
       Obj
         ([ ("type", Str "tune"); ("app", Str app); ("scale", Str (scale_name scale)) ]
-        @ match arch with None -> [] | Some a -> [ ("arch", Str a) ])
-    | Explore { app; scale; chaos; arch; predict } ->
+        @ (match arch with None -> [] | Some a -> [ ("arch", Str a) ])
+        @ match deadline_ms with None -> [] | Some ms -> [ ("deadline_ms", Int ms) ])
+    | Explore { app; scale; chaos; arch; predict; deadline_ms } ->
       Obj
         ([ ("type", Str "explore"); ("app", Str app); ("scale", Str (scale_name scale)) ]
         @ (match arch with None -> [] | Some a -> [ ("arch", Str a) ])
         @ (if predict then [ ("predict", Bool true) ] else [])
+        @ (match deadline_ms with None -> [] | Some ms -> [ ("deadline_ms", Int ms) ])
         @
         match chaos with
         | None -> []
@@ -312,6 +325,8 @@ let encode_response (r : response) : string =
       Obj [ ("type", Str "lint"); ("report", Str l_report); ("errors", Bool l_errors) ]
     | Error_r { e_code; e_msg } ->
       Obj [ ("type", Str "error"); ("code", Str (error_code_name e_code)); ("msg", Str e_msg) ]
+    | Overloaded_r { o_retry_after_ms } ->
+      Obj [ ("type", Str "overloaded"); ("retry_after_ms", Int o_retry_after_ms) ]
   in
   to_string v
 
@@ -391,6 +406,14 @@ let flag_field (v : Util.Json.t) (k : string) : bool =
   | Some (Bool b) -> b
   | Some _ -> shape "field %S is not a boolean" k
 
+(* Optional integer field — absent means [None] (used for
+   [deadline_ms], which pre-hardening clients never send). *)
+let opt_int_field (v : Util.Json.t) (k : string) : int option =
+  match Util.Json.member k v with
+  | None -> None
+  | Some (Int i) -> Some i
+  | Some _ -> shape "field %S is not an integer" k
+
 let prune_of (v : Util.Json.t) : prune_row =
   let winner =
     match Util.Json.member "winner" v with
@@ -423,7 +446,13 @@ let request_of_json (v : Util.Json.t) : request =
   | "stats" -> Stats
   | "shutdown" -> Shutdown
   | "tune" ->
-    Tune { app = str_field v "app"; scale = scale_field v; arch = opt_str_field v "arch" }
+    Tune
+      {
+        app = str_field v "app";
+        scale = scale_field v;
+        arch = opt_str_field v "arch";
+        deadline_ms = opt_int_field v "deadline_ms";
+      }
   | "explore" ->
     let chaos =
       match Util.Json.member "chaos" v with
@@ -437,6 +466,7 @@ let request_of_json (v : Util.Json.t) : request =
         chaos;
         arch = opt_str_field v "arch";
         predict = flag_field v "predict";
+        deadline_ms = opt_int_field v "deadline_ms";
       }
   | "lint" -> Lint { app = str_field v "app"; config = opt_str_field v "config" }
   | t -> shape "unknown request type %S" t
@@ -502,6 +532,7 @@ let response_of_json (v : Util.Json.t) : response =
       | None -> shape "unknown error code %S" code_s
     in
     Error_r { e_code; e_msg = str_field v "msg" }
+  | "overloaded" -> Overloaded_r { o_retry_after_ms = int_field v "retry_after_ms" }
   | t -> shape "unknown response type %S" t
 
 let decode_request : string -> (request, decode_error) result = decode "request" request_of_json

@@ -152,7 +152,7 @@ let blob_content (o : outcome) : string =
    probe and survivor requests from cache, so the structural counts in
    the outcome stay honest either way.  [store] additionally backs the
    reduced-scale race and receives the residual journal. *)
-let run ?jobs ?store ?(reduced_scale = "reduced") ?(store_scale = "full")
+let run ?jobs ?store ?(reduced_scale = "reduced") ?(store_scale = "full") ?cancel
     ~(engine : Measure.t) ~(app_name : string) (s : spec) (cands : Candidate.t list) : outcome
     =
   let plan = s.sp_plan in
@@ -171,7 +171,7 @@ let run ?jobs ?store ?(reduced_scale = "reduced") ?(store_scale = "full")
      against the budget; their times both fit the model and compete for
      the final answer. *)
   let probes = sample ~seed:(probe_seed ~app_name descs) nprobe valid in
-  let probe_outcomes = Measure.measure_outcomes ?jobs engine probes in
+  let probe_outcomes = Measure.measure_outcomes ?jobs ?cancel engine probes in
   let probe_ok =
     List.filter_map
       (fun ((c : Candidate.t), o) -> match o with Ok t -> Some (c, t) | Error _ -> None)
@@ -223,7 +223,7 @@ let run ?jobs ?store ?(reduced_scale = "reduced") ?(store_scale = "full")
     List.filter_map (fun ((c : Candidate.t), _) -> Option.map (fun r -> (c, r)) (twin c)) raced
   in
   let reduced_times =
-    let outs = Measure.measure_outcomes ?jobs rengine (List.map snd with_twin) in
+    let outs = Measure.measure_outcomes ?jobs ?cancel rengine (List.map snd with_twin) in
     let tbl = Hashtbl.create 64 in
     List.iter2
       (fun ((c : Candidate.t), _) (_, o) ->
@@ -270,7 +270,7 @@ let run ?jobs ?store ?(reduced_scale = "reduced") ?(store_scale = "full")
     |> List.map (fun (c, _, _) -> c)
   in
   let survivors = by_reduced @ by_predicted in
-  let survivor_outcomes = Measure.measure_outcomes ?jobs engine survivors in
+  let survivor_outcomes = Measure.measure_outcomes ?jobs ?cancel engine survivors in
   let survivor_ok =
     List.filter_map
       (fun ((c : Candidate.t), o) -> match o with Ok t -> Some (c, t) | Error _ -> None)

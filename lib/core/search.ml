@@ -136,10 +136,16 @@ let bind_store engine ~(app_name : string) (cands : Candidate.t list) ~store ~st
    filled the cache, the race's probe and survivor measurements cost
    nothing extra here — its structural counts still report what a
    budget-only run would have simulated.  [?budget_frac] overrides the
-   spec's full-simulation budget. *)
+   spec's full-simulation budget.
+
+   [?cancel] is a cooperative cancellation token checked between
+   candidates ([Cancel], [Measure.measure_outcomes]): a sweep whose
+   token trips with measurements still outstanding aborts with
+   [Cancel.Cancelled] instead of holding its worker; outcomes settled
+   before the trip stay cached/journaled/stored for the retry. *)
 let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ?store ?store_key
-    ?store_scale ?predict ?budget_frac ~(app_name : string) (cands : Candidate.t list) : result
-    =
+    ?store_scale ?predict ?budget_frac ?cancel ~(app_name : string) (cands : Candidate.t list)
+    : result =
   let valid, invalid = List.partition (fun (c : Candidate.t) -> c.valid) cands in
   if valid = [] then invalid_arg (app_name ^ ": no valid configuration in the space");
   let all = List.map (fun c -> (c, Metrics.of_candidate c)) valid in
@@ -158,7 +164,7 @@ let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ?store ?store_
     (fun () ->
       (* Exhaustive exploration: measure everything; faults settle as
          recorded outcomes instead of killing the sweep. *)
-      let outcomes = Measure.measure_outcomes ?jobs engine valid in
+      let outcomes = Measure.measure_outcomes ?jobs ?cancel engine valid in
       let faults =
         List.filter_map
           (fun (c, o) -> match o with Error f -> Some (c, f) | Ok _ -> None)
@@ -230,7 +236,7 @@ let run ?jobs ?(fail_fast = false) ?checkpoint ?checkpoint_budget ?store ?store_
             | Some f ->
               { spec with Prune.sp_plan = { spec.Prune.sp_plan with Prune.pl_budget_frac = f } }
           in
-          Some (Prune.run ?jobs ?store ?store_scale ~engine ~app_name spec valid)
+          Some (Prune.run ?jobs ?store ?store_scale ?cancel ~engine ~app_name spec valid)
       in
       {
         app_name;
@@ -275,7 +281,7 @@ type tuned = {
   tune_engine : engine_stats;
 }
 
-let tune_full ?jobs ?store ?store_key ?store_scale ~(app_name : string)
+let tune_full ?jobs ?store ?store_key ?store_scale ?cancel ~(app_name : string)
     (cands : Candidate.t list) : tuned =
   let valid = List.filter (fun (c : Candidate.t) -> c.valid) cands in
   if valid = [] then invalid_arg (app_name ^ ": no valid configuration in the space");
@@ -286,7 +292,7 @@ let tune_full ?jobs ?store ?store_key ?store_scale ~(app_name : string)
   let wi0 = Gpu.Sim.warp_instrs_issued () and launches0 = Gpu.Sim.sim_runs () in
   let engine = Measure.create ~app_name () in
   bind_store engine ~app_name cands ~store ~store_key ~store_scale;
-  let outcomes = Measure.measure_outcomes ?jobs engine (List.map fst selected) in
+  let outcomes = Measure.measure_outcomes ?jobs ?cancel engine (List.map fst selected) in
   let measured =
     List.filter_map
       (fun ((c : Candidate.t), o) ->

@@ -82,7 +82,11 @@ type t = {
   mutable runs : int;  (* simulator measurements performed *)
   mutable store_hits : int;
   mutable store_misses : int;
-  mutable stop : bool;  (* set by a Shutdown request *)
+  stop : bool Atomic.t;
+      (* set by a Shutdown request or a SIGTERM; atomic (not under
+         [lock]) so the signal handler installed by [listen
+         ~on_sigterm:true] can flip it without risking a deadlock on a
+         mutex the interrupted thread holds *)
 }
 
 let create ?jobs ~(store : Store.t) (resolver : resolver) : t =
@@ -96,11 +100,11 @@ let create ?jobs ~(store : Store.t) (resolver : resolver) : t =
     runs = 0;
     store_hits = 0;
     store_misses = 0;
-    stop = false;
+    stop = Atomic.make false;
   }
 
-let stopping t = Mutex.protect t.lock (fun () -> t.stop)
-let request_stop t = Mutex.protect t.lock (fun () -> t.stop <- true)
+let stopping t = Atomic.get t.stop
+let request_stop t = Atomic.set t.stop true
 
 let note_engine t (e : Search.engine_stats) : unit =
   Mutex.protect t.lock (fun () ->
@@ -129,14 +133,15 @@ let row_of_measured (m : Search.measured) : Proto.measured_row =
 
 let descs_of sel = List.map (fun ((c : Candidate.t), _) -> c.desc) sel
 
-let handle_tune t ~app ~scale ~(arch : string option) : Proto.response =
+let handle_tune t ~app ~scale ~(arch : string option) ~(cancel : Cancel.t option) :
+    Proto.response =
   let arch = Option.value arch ~default:default_arch_name in
   match t.resolver.rv_space ~app ~scale ~arch with
   | Error (e_code, e_msg) -> Error_r { e_code; e_msg }
   | Ok sp ->
     let r =
-      Search.tune_full ?jobs:t.jobs ~store:t.store ~store_key:sp.sp_store_key ~app_name:app
-        sp.sp_cands
+      Search.tune_full ?jobs:t.jobs ?cancel ~store:t.store ~store_key:sp.sp_store_key
+        ~app_name:app sp.sp_cands
     in
     note_engine t r.tune_engine;
     Tune_r
@@ -151,7 +156,7 @@ let handle_tune t ~app ~scale ~(arch : string option) : Proto.response =
       }
 
 let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) ~(arch : string option)
-    ~(predict : bool) : Proto.response =
+    ~(predict : bool) ~(cancel : Cancel.t option) : Proto.response =
   let arch = Option.value arch ~default:default_arch_name in
   match t.resolver.rv_space ~app ~scale ~arch with
   | Error (e_code, e_msg) -> Error_r { e_code; e_msg }
@@ -170,8 +175,8 @@ let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) ~(arch : str
             Some (Prune.spec ~reduced:(Lazy.force sp.sp_reduced) ())
           else None
         in
-        Search.run ?jobs:t.jobs ?predict:pspec ~store:t.store ~store_key:sp.sp_store_key
-          ~app_name:app sp.sp_cands
+        Search.run ?jobs:t.jobs ?cancel ?predict:pspec ~store:t.store
+          ~store_key:sp.sp_store_key ~app_name:app sp.sp_cands
       | Some { ch_seed; ch_count } ->
         (* Injected faults are synthetic: measuring them through the
            store would record them under healthy candidates' content
@@ -179,7 +184,7 @@ let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) ~(arch : str
            ignore [predict]: a race over injected faults would compare
            synthetic times). *)
         let cands, _injections = Chaos.inject ~seed:ch_seed ~count:ch_count sp.sp_cands in
-        Search.run ?jobs:t.jobs ~app_name:app cands
+        Search.run ?jobs:t.jobs ?cancel ~app_name:app cands
     in
     note_engine t r.engine;
     Explore_r
@@ -219,7 +224,12 @@ let handle_explore t ~app ~scale ~(chaos : Proto.chaos_spec option) ~(arch : str
       }
 
 (* Dispatch one decoded request.  Total: anything the machinery throws
-   settles as a typed error response. *)
+   settles as a typed error response.  A request carrying [deadline_ms]
+   runs under a [Cancel] token; a sweep the token aborts answers with
+   the typed [Deadline_exceeded] error rather than the generic server
+   error — clients can tell "too slow" from "broken".  A warm sweep
+   never trips the token (every point answers from cache/store), so a
+   deadline only cuts off work that would actually run the simulator. *)
 let handle t (req : Proto.request) : Proto.response =
   Mutex.protect t.lock (fun () -> t.requests <- t.requests + 1);
   let resp =
@@ -230,14 +240,23 @@ let handle t (req : Proto.request) : Proto.response =
       | Proto.Shutdown ->
         request_stop t;
         Bye
-      | Proto.Tune { app; scale; arch } -> handle_tune t ~app ~scale ~arch
-      | Proto.Explore { app; scale; chaos; arch; predict } ->
-        handle_explore t ~app ~scale ~chaos ~arch ~predict
+      | Proto.Tune { app; scale; arch; deadline_ms } ->
+        let cancel = Option.map Cancel.with_deadline_ms deadline_ms in
+        handle_tune t ~app ~scale ~arch ~cancel
+      | Proto.Explore { app; scale; chaos; arch; predict; deadline_ms } ->
+        let cancel = Option.map Cancel.with_deadline_ms deadline_ms in
+        handle_explore t ~app ~scale ~chaos ~arch ~predict ~cancel
       | Proto.Lint { app; config } -> (
         match t.resolver.rv_lint ~app ~config with
         | Ok (l_report, l_errors) -> Lint_r { l_report; l_errors }
         | Error (e_code, e_msg) -> Error_r { e_code; e_msg })
     with
+    | Cancel.Cancelled ->
+      Error_r
+        {
+          e_code = Deadline_exceeded;
+          e_msg = "deadline expired before the sweep settled; completed measurements are stored";
+        }
     | Invalid_argument msg -> Error_r { e_code = Bad_request; e_msg = msg }
     | e -> Error_r { e_code = Server_error; e_msg = Printexc.to_string e }
   in
@@ -262,10 +281,20 @@ let handle_frame t (payload : string) : string =
 (* Socket plumbing                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* A client that vanishes between request and reply turns the reply
+   write into a SIGPIPE, which by default kills the whole process.
+   Ignoring it downgrades the signal to the EPIPE error the write paths
+   already handle.  Idempotent; called by [listen] and exposed for
+   client-side binaries (their request writes can race a daemon
+   restart). *)
+let ignore_sigpipe () : unit =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
 let rec write_all fd (s : string) pos len =
   if len > 0 then begin
-    let n = Unix.write_substring fd s pos len in
-    write_all fd s (pos + n) (len - n)
+    match Unix.write_substring fd s pos len with
+    | n -> write_all fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s pos len
   end
 
 let send_frame fd (payload : string) : unit =
@@ -274,20 +303,62 @@ let send_frame fd (payload : string) : unit =
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* [Unix.read] with uniform EINTR handling: a signal landing mid-read
+   (SIGCHLD from a forked bench daemon, a profiler tick) retries
+   instead of masquerading as a closed connection.  This matches the
+   accept loop's EINTR treatment. *)
+let rec read_retry fd chunk pos len : int =
+  match Unix.read fd chunk pos len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd chunk pos len
+
+(* Wait until [fd] is readable or [deadline] (absolute) passes, in
+   small select slices so the wait notices a server stop promptly. *)
+let wait_readable ~(stop : unit -> bool) ~(deadline : float) fd :
+    [ `Readable | `Timeout | `Stop ] =
+  let slice_s = 0.1 in
+  let rec loop () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then `Timeout
+    else
+      (* Data already in flight wins over a stop: a request sent before
+         the drain began still deserves its reply. *)
+      match Unix.select [ fd ] [] [] (Float.min slice_s remaining) with
+      | [], _, _ -> if stop () then `Stop else loop ()
+      | _ -> `Readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> if stop () then `Stop else loop ()
+  in
+  loop ()
+
 (* Serve one connection until the peer closes it (or poisons the
    stream).  Frames are answered in order; an oversized length prefix
    is unrecoverable — the offset of the next frame is unknowable — so
-   it draws one final protocol error and the connection drops. *)
-let serve_connection t fd : unit =
+   it draws one final protocol error and the connection drops.
+
+   Reads are bounded by a per-frame deadline: each complete frame buys
+   the client another [io_timeout_s] to deliver the next one.  The
+   deadline is NOT reset by partial reads, so a slow-loris client
+   dripping one byte per interval cannot pin a worker domain — it is
+   cut off [io_timeout_s] after its frame started, however steadily it
+   drips.  The wait also aborts when the server is stopping, so
+   graceful drain is bounded by the in-flight [handle] calls, not by
+   clients holding connections open. *)
+let serve_connection ?(io_timeout_s = 30.0) t fd : unit =
   let chunk = Bytes.create 65536 in
   let buf = ref "" in
   let closed = ref false in
+  let frame_deadline = ref (Unix.gettimeofday () +. io_timeout_s) in
   while not !closed do
     match Proto.peek_frame !buf ~pos:0 with
     | `Frame (payload, next) ->
       buf := String.sub !buf next (String.length !buf - next);
       let reply = handle_frame t payload in
-      (try send_frame fd reply with Unix.Unix_error _ -> closed := true)
+      (try send_frame fd reply with Unix.Unix_error _ -> closed := true);
+      (* During a drain, finish at a frame boundary: requests already
+         on the wire were answered above; a chatty client cannot hold
+         the drain open by sending more. *)
+      if stopping t then closed := true;
+      frame_deadline := Unix.gettimeofday () +. io_timeout_s
     | `Error fe ->
       Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1);
       (try
@@ -297,19 +368,40 @@ let serve_connection t fd : unit =
        with Unix.Unix_error _ -> ());
       closed := true
     | `Need _ -> (
-      match Unix.read fd chunk 0 (Bytes.length chunk) with
-      | 0 -> closed := true  (* EOF; a truncated tail has no one to answer *)
-      | n -> buf := !buf ^ Bytes.sub_string chunk 0 n
-      | exception Unix.Unix_error _ -> closed := true)
+      match wait_readable ~stop:(fun () -> stopping t) ~deadline:!frame_deadline fd with
+      | `Timeout | `Stop -> closed := true
+      | `Readable -> (
+        match read_retry fd chunk 0 (Bytes.length chunk) with
+        | 0 -> closed := true  (* EOF; a truncated tail has no one to answer *)
+        | n -> buf := !buf ^ Bytes.sub_string chunk 0 n
+        | exception Unix.Unix_error _ -> closed := true))
   done;
   close_quietly fd
 
 (* Accept loop: bind a Unix-domain socket, fan connections out to
    [conn_workers] domains, stop when a Shutdown request flips the flag
    (checked every [poll_s] via select timeout).  Returns once every
-   worker has drained. *)
-let listen ?(conn_workers = 4) ?(backlog = 64) ?(poll_s = 0.2) t ~(socket : string) () : unit
-    =
+   worker has drained.
+
+   Admission control: the accept queue is bounded at [max_queue].  A
+   connection arriving while the queue is full is answered immediately
+   with a typed [Overloaded_r { retry_after_ms }] frame and closed —
+   load sheds at the door with an explicit signal the client can back
+   off on, instead of piling up connections until memory or patience
+   runs out.
+
+   [on_sigterm] installs a SIGTERM handler that flips the stop flag:
+   the accept loop closes, queued connections finish their in-flight
+   frames (idle waits abort, see [serve_connection]), workers drain,
+   and [listen] returns — a graceful drain rather than mid-sweep
+   death.  Off by default so library users (tests, benches that manage
+   their own signals) keep process-global state untouched. *)
+let listen ?(conn_workers = 4) ?(backlog = 64) ?(poll_s = 0.2) ?(max_queue = 128)
+    ?(io_timeout_s = 30.0) ?(retry_after_ms = 200) ?(on_sigterm = false) t
+    ~(socket : string) () : unit =
+  ignore_sigpipe ();
+  if on_sigterm && not Sys.win32 then
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_stop t));
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX socket);
@@ -338,6 +430,13 @@ let listen ?(conn_workers = 4) ?(backlog = 64) ?(poll_s = 0.2) t ~(socket : stri
     in
     wait ()
   in
+  (* Best-effort shed: one Overloaded frame, then close.  The client
+     may already be gone — every failure path just drops the fd. *)
+  let shed fd =
+    (try send_frame fd (Proto.encode_response (Overloaded_r { o_retry_after_ms = retry_after_ms }))
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    close_quietly fd
+  in
   let workers =
     List.init (max 1 conn_workers) (fun _ ->
         Domain.spawn (fun () ->
@@ -345,7 +444,7 @@ let listen ?(conn_workers = 4) ?(backlog = 64) ?(poll_s = 0.2) t ~(socket : stri
               match pop () with
               | None -> ()
               | Some fd ->
-                serve_connection t fd;
+                serve_connection ~io_timeout_s t fd;
                 loop ()
             in
             loop ()))
@@ -356,6 +455,11 @@ let listen ?(conn_workers = 4) ?(backlog = 64) ?(poll_s = 0.2) t ~(socket : stri
       Condition.broadcast qcond;
       Mutex.unlock qlock;
       List.iter Domain.join workers;
+      (* Whatever is still queued after the drain gets the shed reply
+         rather than a silent close. *)
+      Mutex.protect qlock (fun () ->
+          Queue.iter shed q;
+          Queue.clear q);
       close_quietly sock;
       try Unix.unlink socket with Unix.Unix_error _ -> ())
     (fun () ->
@@ -365,10 +469,16 @@ let listen ?(conn_workers = 4) ?(backlog = 64) ?(poll_s = 0.2) t ~(socket : stri
         | _ -> (
           match Unix.accept sock with
           | fd, _ ->
-            Mutex.lock qlock;
-            Queue.push fd q;
-            Condition.signal qcond;
-            Mutex.unlock qlock
+            let overloaded =
+              Mutex.protect qlock (fun () ->
+                  if Queue.length q >= max_queue then true
+                  else begin
+                    Queue.push fd q;
+                    Condition.signal qcond;
+                    false
+                  end)
+            in
+            if overloaded then shed fd
           | exception Unix.Unix_error _ -> ())
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done)
@@ -392,7 +502,7 @@ let read_frame fd : (string, string) result =
     | `Frame (payload, _) -> Ok payload
     | `Error fe -> Error (Proto.frame_error_to_string fe)
     | `Need need -> (
-      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      match read_retry fd chunk 0 (Bytes.length chunk) with
       | 0 -> (
         match Proto.at_eof ~pending:(String.length buf) ~need with
         | Some fe -> Error (Proto.frame_error_to_string fe)
@@ -401,29 +511,80 @@ let read_frame fd : (string, string) result =
   in
   loop ""
 
-(* One request/response exchange on an open connection. *)
+(* One request/response exchange on an open connection.  A failed send
+   still drains the socket first: a server that answered-and-closed
+   before our write landed (an overload shed at the door) left its
+   reply buffered in the socket, and that typed reply beats a generic
+   transport error. *)
 let rpc fd (req : Proto.request) : (Proto.response, string) result =
+  let decode payload =
+    match Proto.decode_response payload with
+    | Ok r -> Ok r
+    | Error de -> Error (Proto.decode_error_to_string de)
+  in
   match send_frame fd (Proto.encode_request req) with
-  | exception Unix.Unix_error (e, _, _) -> Error ("send: " ^ Unix.error_message e)
+  | exception Unix.Unix_error (e, _, _) -> (
+    match read_frame fd with
+    | Ok payload -> decode payload
+    | Error _ -> Error ("send: " ^ Unix.error_message e))
   | () -> (
     match read_frame fd with
     | Error _ as e -> e
-    | Ok payload -> (
-      match Proto.decode_response payload with
-      | Ok r -> Ok r
-      | Error de -> Error (Proto.decode_error_to_string de)))
+    | Ok payload -> decode payload)
 
 let with_client ~(socket : string) (f : Unix.file_descr -> 'a) : 'a =
   let fd = connect ~socket in
   Fun.protect ~finally:(fun () -> close_quietly fd) (fun () -> f fd)
 
-(* Connect, exchange one message, disconnect.  Connection failures
-   settle as [Error] — callers polling a daemon that is still coming up
-   rely on this. *)
-let call ~(socket : string) (req : Proto.request) : (Proto.response, string) result =
+let call_once ~(socket : string) (req : Proto.request) : (Proto.response, string) result =
   match with_client ~socket (fun fd -> rpc fd req) with
   | r -> r
   | exception Unix.Unix_error (e, _, _) -> Error ("connect: " ^ Unix.error_message e)
+
+(* Connect, exchange one message, disconnect.  Connection failures
+   settle as [Error] — callers polling a daemon that is still coming up
+   rely on this.
+
+   [retries] > 0 adds client resilience: transport errors (refused
+   connect, dropped connection, torn reply) and typed [Overloaded_r]
+   sheds are retried with jittered exponential backoff.  Retrying is
+   safe because requests are read-only or idempotent: a tune/explore
+   that half-ran before the wire died left its measurements under
+   content-addressed keys, so the retry completes from the store rather
+   than repeating work.  The jitter stream is seeded from the request
+   itself — the same call sequence backs off identically run to run,
+   keeping benches deterministic.  An [Overloaded_r] reply's
+   [retry_after_ms] floors the backoff for that attempt; with no
+   retries left it is returned as-is so the caller sees the typed
+   shed. *)
+let call ?(retries = 0) ?(retry_base_ms = 50) ~(socket : string) (req : Proto.request) :
+    (Proto.response, string) result =
+  if retries <= 0 then call_once ~socket req
+  else begin
+    let rng = Util.Rng.create (Hashtbl.hash (socket, Proto.encode_request req, retries)) in
+    let backoff attempt ~(floor_ms : int) =
+      let base = retry_base_ms * (1 lsl min attempt 10) in
+      let jittered = base + Util.Rng.int rng (max 1 base) in
+      Unix.sleepf (float_of_int (max floor_ms jittered) /. 1000.0)
+    in
+    let rec go attempt =
+      match call_once ~socket req with
+      | Ok (Proto.Overloaded_r { o_retry_after_ms }) as r ->
+        if attempt >= retries then r
+        else begin
+          backoff attempt ~floor_ms:o_retry_after_ms;
+          go (attempt + 1)
+        end
+      | Ok _ as r -> r
+      | Error _ as r ->
+        if attempt >= retries then r
+        else begin
+          backoff attempt ~floor_ms:0;
+          go (attempt + 1)
+        end
+    in
+    go 0
+  end
 
 (* Poll until the daemon answers a ping (bounded); used by everything
    that forks a server and must not race its bind. *)
@@ -435,7 +596,8 @@ let wait_ready ?(timeout_s = 10.0) ~(socket : string) () : bool =
     | _ ->
       if Unix.gettimeofday () >= deadline then false
       else begin
-        ignore (Unix.select [] [] [] 0.05);
+        (try ignore (Unix.select [] [] [] 0.05)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
         loop ()
       end
   in

@@ -189,6 +189,7 @@ type corrupt_line = { cl_line : int; cl_reason : string }
 
 type t = {
   file : string;
+  durable : bool;  (* fsync every append before releasing the lock *)
   lock : Mutex.t;  (* guards every mutable field and the channel *)
   index : (string, entry) Hashtbl.t;  (* key -> measurement or blob *)
   mutable oc : out_channel option;  (* None after [close] *)
@@ -225,11 +226,20 @@ let parse_record (line : string) : (string * entry, string) result =
    records are skipped and reported through [corrupt_entries]; when two
    valid records share a key (two writers raced to measure the same
    point), the later one wins — both hold the same deterministic
-   outcome, so the choice is cosmetic. *)
-let open_ ~(file : string) : t =
+   outcome, so the choice is cosmetic.
+
+   [?durable] makes every append fsync before its lock drops: a store
+   killed at any instant — `kill -9` mid-append included — reopens with
+   every *completed* put intact, at the price of one disk sync per new
+   measurement (amortized to nothing once the space is warm).  Without
+   it appends are still atomic-per-record on load (the checksum rejects
+   a torn tail) but the OS may lose recently buffered records on a
+   crash. *)
+let open_ ?(durable = false) ~(file : string) () : t =
   let t =
     {
       file;
+      durable;
       lock = Mutex.create ();
       index = Hashtbl.create 256;
       oc = None;
@@ -272,7 +282,8 @@ let open_ ~(file : string) : t =
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file in
   if not exists then begin
     output_string oc (magic ^ "\n");
-    flush oc
+    flush oc;
+    if durable then Unix.fsync (Unix.descr_of_out_channel oc)
   end;
   t.oc <- Some oc;
   t.corrupt <- List.rev t.corrupt;
@@ -304,7 +315,12 @@ let put_entry t ~(key : string) ~(payload : string) (e : entry) : unit =
         | None -> invalid_arg "Store.put: store is closed"
         | Some oc ->
           output_string oc (record_line key payload);
-          flush oc);
+          flush oc;
+          (* Durable appends reach the disk before the lock drops: a
+             crash after this point cannot lose the record, a crash
+             before it leaves at worst a torn tail the checksum rejects
+             on reload. *)
+          if t.durable then Unix.fsync (Unix.descr_of_out_channel oc));
         Hashtbl.replace t.index key e
       end)
 
@@ -323,3 +339,112 @@ let close t : unit =
       | Some oc ->
         (try close_out oc with Sys_error _ -> ());
         t.oc <- None)
+
+(* ------------------------------------------------------------------ *)
+(* Offline maintenance: fsck and compaction                            *)
+(* ------------------------------------------------------------------ *)
+
+(* What a scan of the file found.  [fs_reclaimable] counts the bytes
+   occupied by lines a compaction would drop: corrupt records,
+   duplicate keys (the first valid record wins, matching [put_entry]'s
+   first-write-wins discipline) and blank lines. *)
+type fsck_report = {
+  fs_file : string;
+  fs_bytes : int;  (* file size scanned *)
+  fs_records : int;  (* non-blank lines after the header *)
+  fs_valid : int;  (* distinct keys with a valid record *)
+  fs_duplicates : int;  (* valid records whose key already appeared *)
+  fs_corrupt : corrupt_line list;  (* rejected records, file order *)
+  fs_reclaimable : int;  (* bytes compaction would reclaim *)
+}
+
+(* Scan [file] without touching it.  The header is validated exactly as
+   [open_] does; the per-line verdicts reuse [parse_record], so fsck
+   and load can never disagree about which records are good.  Returns
+   the report plus the surviving record lines (first valid line per
+   key, file order) for [compact] to rewrite. *)
+let scan ~(file : string) : fsck_report * string list =
+  let size = (Unix.stat file).Unix.st_size in
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (match In_channel.input_line ic with
+      | Some m when m = magic -> ()
+      | Some m ->
+        failwith
+          (Printf.sprintf "Store: %s has header %S, expected %S — refusing a foreign file" file m
+             magic)
+      | None -> failwith (Printf.sprintf "Store: %s: missing header" file));
+      let seen = Hashtbl.create 256 in
+      let keep = ref [] in
+      let records = ref 0 and valid = ref 0 and dups = ref 0 and reclaim = ref 0 in
+      let corrupt = ref [] in
+      let lineno = ref 1 in
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some "" ->
+          incr lineno;
+          incr reclaim;  (* the blank line's newline *)
+          loop ()
+        | Some line ->
+          incr lineno;
+          incr records;
+          (match parse_record line with
+          | Ok (key, _) ->
+            if Hashtbl.mem seen key then begin
+              incr dups;
+              reclaim := !reclaim + String.length line + 1
+            end
+            else begin
+              Hashtbl.replace seen key ();
+              incr valid;
+              keep := line :: !keep
+            end
+          | Error reason ->
+            corrupt := { cl_line = !lineno; cl_reason = reason } :: !corrupt;
+            reclaim := !reclaim + String.length line + 1);
+          loop ()
+      in
+      loop ();
+      ( {
+          fs_file = file;
+          fs_bytes = size;
+          fs_records = !records;
+          fs_valid = !valid;
+          fs_duplicates = !dups;
+          fs_corrupt = List.rev !corrupt;
+          fs_reclaimable = !reclaim;
+        },
+        List.rev !keep ))
+
+let fsck ~(file : string) : fsck_report = fst (scan ~file)
+
+(* Rewrite [file] down to its valid, deduplicated records: write header
+   + survivors to a temp file in the same directory, fsync it, and
+   rename it over the original (atomic on POSIX — a crash mid-compact
+   leaves either the old file or the new one, never a mix).  Returns
+   the scan report and the bytes actually reclaimed.  The store must
+   not be open for writing elsewhere during compaction. *)
+let compact ~(file : string) : fsck_report * int =
+  let report, keep = scan ~file in
+  let tmp = file ^ ".compact" in
+  let oc = open_out_gen [ Open_creat; Open_trunc; Open_wronly ] 0o644 tmp in
+  (try
+     output_string oc (magic ^ "\n");
+     List.iter
+       (fun line ->
+         output_string oc line;
+         output_char oc '\n')
+       keep;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  let new_size = (Unix.stat tmp).Unix.st_size in
+  Sys.rename tmp file;
+  (report, report.fs_bytes - new_size)

@@ -243,7 +243,7 @@ let with_server (f : S.t -> 'a) : 'a =
   Fun.protect
     ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
     (fun () ->
-      let store = Tuner.Store.open_ ~file in
+      let store = Tuner.Store.open_ ~file () in
       Fun.protect
         ~finally:(fun () -> Tuner.Store.close store)
         (fun () -> f (S.create ~jobs:2 ~store (Apps.Serving.resolver ()))))
@@ -267,6 +267,7 @@ let serve_tests =
                            chaos = None;
                            arch = Some arch.A.name;
                            predict = false;
+                           deadline_ms = None;
                          })
                   with
                   | P.Explore_r x -> x
@@ -292,13 +293,13 @@ let serve_tests =
         with_server (fun server ->
             (match
                S.handle server
-                 (P.Tune { app = "matmul"; scale = P.Quick; arch = None })
+                 (P.Tune { app = "matmul"; scale = P.Quick; arch = None; deadline_ms = None })
              with
             | P.Tune_r t -> check_s "default arch" "g80" t.P.t_arch
             | _ -> Alcotest.fail "no Tune_r");
             match
               S.handle server
-                (P.Tune { app = "matmul"; scale = P.Quick; arch = Some "vliw99" })
+                (P.Tune { app = "matmul"; scale = P.Quick; arch = Some "vliw99"; deadline_ms = None })
             with
             | P.Error_r { e_code = P.Bad_request; e_msg } ->
               let contains hay needle =

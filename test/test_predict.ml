@@ -195,4 +195,60 @@ let qcheck_tests =
             [ "matmul"; "cp"; "sad"; "mri" ]);
     ]
 
-let suite = [ ("tuner.predict", predict_tests @ prune_tests @ qcheck_tests) ]
+(* ------------------------------------------------------------------ *)
+(* Superoptimized spaces and cancellation plumbing                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One discovery run shared by both apps: the rule database is a pure
+   function of the arch, not of the space it is applied to. *)
+let superopt_rules =
+  lazy (Tuner.Superopt.discover ~jobs:2 ~max_len:1 ~sweep:64 ()).Tuner.Superopt.rules
+
+let result_key (r : Tuner.Search.result) =
+  ( r.Tuner.Search.best.Tuner.Measure.cand.desc,
+    r.Tuner.Search.best.Tuner.Measure.time_s,
+    List.map
+      (fun (m : Tuner.Measure.measured) -> (m.Tuner.Measure.cand.desc, m.Tuner.Measure.time_s))
+      r.Tuner.Search.exhaustive,
+    Option.map outcome_key r.Tuner.Search.prune )
+
+let hardened_tests =
+  [
+    t "superoptimized spaces: race under a 10% budget recovers the optimum (matmul, cp)"
+      (fun () ->
+        (* The deadline/cancellation rework sits under [Search.run]; this
+           pins that a budgeted model race over spaces rewritten by the
+           verified peephole pass still lands on the exhaustive optimum. *)
+        let rules = Lazy.force superopt_rules in
+        List.iter
+          (fun name ->
+            let cands =
+              List.filter
+                (fun (c : Tuner.Candidate.t) -> c.valid)
+                ((entry name).quick_candidates
+                   ~extra_ptx:[ Tuner.Pipeline.peephole rules ]
+                   ())
+            in
+            let r =
+              Tuner.Search.run ~jobs:2
+                ~predict:(R.spec ~rules ~reduced:cands ())
+                ~budget_frac:0.10 ~app_name:name cands
+            in
+            let o = Option.get r.Tuner.Search.prune in
+            check_b (name ^ ": optimum recovered under rules + 10% budget") true
+              (R.recovered o ~best:r.Tuner.Search.best))
+          [ "matmul"; "cp" ]);
+    t "a never-tripping cancel token is invisible (jobs 1 vs 4 bit-identical)" (fun () ->
+        let run jobs cancel =
+          let cands, _ = space "matmul" in
+          Tuner.Search.run ~jobs ?cancel
+            ~predict:(R.spec ~reduced:cands ())
+            ~app_name:"matmul" cands
+        in
+        let with_token = run 1 (Some (Tuner.Cancel.create ())) in
+        let without = run 4 None in
+        check_b "identical results with and without a token, any jobs" true
+          (result_key with_token = result_key without));
+  ]
+
+let suite = [ ("tuner.predict", predict_tests @ prune_tests @ qcheck_tests @ hardened_tests) ]

@@ -56,12 +56,16 @@ let gen_request =
         return P.Ping;
         return P.Stats;
         return P.Shutdown;
-        map3 (fun app scale arch -> P.Tune { app; scale; arch }) gen_string gen_scale
-          (opt gen_string);
         map2
-          (fun (app, scale) (chaos, arch) -> P.Explore { app; scale; chaos; arch; predict = false })
+          (fun (app, scale) (arch, deadline_ms) -> P.Tune { app; scale; arch; deadline_ms })
           (pair gen_string gen_scale)
-          (pair gen_chaos (opt gen_string));
+          (pair (opt gen_string) (opt small_int));
+        map3
+          (fun (app, scale) (chaos, arch) (predict, deadline_ms) ->
+            P.Explore { app; scale; chaos; arch; predict; deadline_ms })
+          (pair gen_string gen_scale)
+          (pair gen_chaos (opt gen_string))
+          (pair bool (opt small_int));
         map2 (fun app config -> P.Lint { app; config }) gen_string (opt gen_string);
       ])
 
@@ -128,8 +132,16 @@ let gen_response =
         map2 (fun r e -> P.Lint_r { l_report = r; l_errors = e }) gen_string bool;
         map2
           (fun c m -> P.Error_r { e_code = c; e_msg = m })
-          (oneofl [ P.Unknown_app; P.Bad_request; P.Protocol_error; P.Server_error ])
+          (oneofl
+             [
+               P.Unknown_app;
+               P.Bad_request;
+               P.Protocol_error;
+               P.Server_error;
+               P.Deadline_exceeded;
+             ])
           gen_string;
+        map (fun ms -> P.Overloaded_r { o_retry_after_ms = ms }) small_int;
       ])
 
 (* ------------------------------------------------------------------ *)
@@ -142,8 +154,12 @@ let row_eq (a : P.measured_row) (b : P.measured_row) =
 let req_eq (a : P.request) (b : P.request) =
   match (a, b) with
   | P.Ping, P.Ping | P.Stats, P.Stats | P.Shutdown, P.Shutdown -> true
-  | P.Tune x, P.Tune y -> x.app = y.app && x.scale = y.scale
-  | P.Explore x, P.Explore y -> x.app = y.app && x.scale = y.scale && x.chaos = y.chaos
+  | P.Tune x, P.Tune y ->
+    x.app = y.app && x.scale = y.scale && x.arch = y.arch && x.deadline_ms = y.deadline_ms
+  | P.Explore x, P.Explore y ->
+    x.app = y.app && x.scale = y.scale && x.chaos = y.chaos && x.arch = y.arch
+    && x.predict = y.predict
+    && x.deadline_ms = y.deadline_ms
   | P.Lint x, P.Lint y -> x.app = y.app && x.config = y.config
   | _ -> false
 
@@ -166,6 +182,7 @@ let resp_eq (a : P.response) (b : P.response) =
     && x.x_faults = y.x_faults && x.x_runs = y.x_runs && x.x_store_hits = y.x_store_hits
   | P.Lint_r x, P.Lint_r y -> x.l_report = y.l_report && x.l_errors = y.l_errors
   | P.Error_r x, P.Error_r y -> x.e_code = y.e_code && x.e_msg = y.e_msg
+  | P.Overloaded_r x, P.Overloaded_r y -> x.o_retry_after_ms = y.o_retry_after_ms
   | _ -> false
 
 (* ------------------------------------------------------------------ *)

@@ -16,13 +16,13 @@ let with_server (f : S.t -> string -> 'a) : 'a =
   Fun.protect
     ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
     (fun () ->
-      let store = Tuner.Store.open_ ~file in
+      let store = Tuner.Store.open_ ~file () in
       Fun.protect
         ~finally:(fun () -> Tuner.Store.close store)
         (fun () -> f (S.create ~jobs:2 ~store (Apps.Serving.resolver ())) file))
 
 let explore_reply server app : P.explore_reply =
-  match S.handle server (P.Explore { app; scale = P.Quick; chaos = None; arch = None; predict = false }) with
+  match S.handle server (P.Explore { app; scale = P.Quick; chaos = None; arch = None; predict = false; deadline_ms = None }) with
   | P.Explore_r x -> x
   | _ -> Alcotest.failf "%s: explore did not return Explore_r" app
 
@@ -68,7 +68,7 @@ let identity_tests =
         let e = Option.get (Apps.Registry.find "matmul") in
         let best, selected = Tuner.Search.tune ~jobs:2 ~app_name:"matmul" (e.quick_candidates ()) in
         with_server (fun server _ ->
-            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick; arch = None }) with
+            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick; arch = None; deadline_ms = None }) with
             | P.Tune_r r ->
               Alcotest.(check string) "chosen desc" best.cand.desc r.t_chosen.m_desc;
               Alcotest.(check bool) "chosen time bit-equal" true
@@ -96,7 +96,7 @@ let cache_tests =
               (List.map (fun (r : P.measured_row) -> (r.m_desc, r.m_time_s)) cold.x_exhaustive)
               warm.x_exhaustive;
             (* the tune request over the same space is also free *)
-            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick; arch = None }) with
+            match S.handle server (P.Tune { app = "matmul"; scale = P.Quick; arch = None; deadline_ms = None }) with
             | P.Tune_r r -> Alcotest.(check int) "tune runs" 0 r.t_runs
             | _ -> Alcotest.fail "tune failed on a warm store"));
     t "a chaos-faulted stream degrades gracefully and never poisons the store" (fun () ->
@@ -114,6 +114,7 @@ let cache_tests =
                        chaos = Some { ch_seed = 7; ch_count = 3 };
                        arch = None;
                        predict = false;
+                       deadline_ms = None;
                      })
               with
               | P.Explore_r x -> x
@@ -144,6 +145,7 @@ let cache_tests =
                      chaos = Some { ch_seed = 1; ch_count = 1_000_000 };
                      arch = None;
                      predict = false;
+                     deadline_ms = None;
                    })
             with
             | P.Error_r { e_code = P.Bad_request; _ } -> ()
@@ -158,7 +160,7 @@ let handle_frame_tests =
   [
     t "unknown app, bad lint config, garbage frames: typed errors, no crash" (fun () ->
         with_server (fun server _ ->
-            (match S.handle server (P.Tune { app = "nope"; scale = P.Quick; arch = None }) with
+            (match S.handle server (P.Tune { app = "nope"; scale = P.Quick; arch = None; deadline_ms = None }) with
             | P.Error_r { e_code = P.Unknown_app; e_msg } ->
               Alcotest.(check bool) "lists known apps" true
                 (String.length e_msg > 0
@@ -213,7 +215,7 @@ let socket_tests =
                     (match S.rpc fd P.Ping with
                     | Ok P.Pong -> ()
                     | _ -> Alcotest.fail "ping failed");
-                    match S.rpc fd (P.Explore { app = "matmul"; scale = P.Quick; chaos = None; arch = None; predict = false }) with
+                    match S.rpc fd (P.Explore { app = "matmul"; scale = P.Quick; chaos = None; arch = None; predict = false; deadline_ms = None }) with
                     | Ok (P.Explore_r x) ->
                       Alcotest.(check int) "cold sweep over the socket" x.x_space_size x.x_runs
                     | Ok _ -> Alcotest.fail "wrong reply type"
@@ -242,5 +244,152 @@ let socket_tests =
                   (Sys.file_exists socket))));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Hardening: deadlines, overload shedding, wire faults, drain         *)
+(* ------------------------------------------------------------------ *)
+
+module CN = Tuner.Chaos.Net
+
+let explore_req ?deadline_ms app : P.request =
+  P.Explore
+    { app; scale = P.Quick; chaos = None; arch = None; predict = false; deadline_ms }
+
+let with_daemon ?(conn_workers = 2) ?(io_timeout_s = 30.0) ?max_queue ?retry_after_ms
+    ?(on_sigterm = false) ?(ready = true) server (f : string -> 'a) : 'a =
+  let socket = Filename.temp_file "gpuopt-serve-hard-" ".sock" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      let daemon =
+        Domain.spawn (fun () ->
+            S.listen ~conn_workers ~poll_s:0.05 ~io_timeout_s ?max_queue ?retry_after_ms
+              ~on_sigterm server ~socket ())
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          S.request_stop server;
+          Domain.join daemon)
+        (fun () ->
+          if ready then
+            Alcotest.(check bool) "daemon comes up" true (S.wait_ready ~socket ());
+          f socket))
+
+let hardening_tests =
+  [
+    t "deadline 0 on a cold sweep is typed; the warm store answers it anyway" (fun () ->
+        with_server (fun server _ ->
+            (match S.handle server (explore_req ~deadline_ms:0 "matmul") with
+            | P.Error_r { e_code = P.Deadline_exceeded; _ } -> ()
+            | _ -> Alcotest.fail "cold sweep under an expired deadline not typed");
+            (* pay for the sweep once, then the same impossible deadline
+               succeeds from the warm store — answering from memory does
+               not miss a deadline *)
+            let clean = explore_reply server "matmul" in
+            match S.handle server (explore_req ~deadline_ms:0 "matmul") with
+            | P.Explore_r x ->
+              Alcotest.(check int) "warm deadline sweep: zero runs" 0 x.x_runs;
+              check_rows "warm deadline sweep: rows bit-identical"
+                (List.map (fun (r : P.measured_row) -> (r.m_desc, r.m_time_s)) clean.x_exhaustive)
+                x.x_exhaustive
+            | P.Error_r { e_code; e_msg } ->
+              Alcotest.failf "warm sweep failed under deadline: %s: %s"
+                (P.error_code_name e_code) e_msg
+            | _ -> Alcotest.fail "warm sweep: wrong reply type"));
+    t "tune under an expired deadline is typed too" (fun () ->
+        with_server (fun server _ ->
+            match
+              S.handle server
+                (P.Tune { app = "matmul"; scale = P.Quick; arch = None; deadline_ms = Some 0 })
+            with
+            | P.Error_r { e_code = P.Deadline_exceeded; _ } -> ()
+            | _ -> Alcotest.fail "cold tune under an expired deadline not typed"));
+    t "a full accept queue sheds with a typed overloaded reply, never a hang" (fun () ->
+        with_server (fun server _ ->
+            with_daemon ~conn_workers:1 ~max_queue:0 ~retry_after_ms:7 ~ready:false server
+              (fun socket ->
+                (* with max_queue 0 every connection sheds at the door *)
+                let deadline = Unix.gettimeofday () +. 10.0 in
+                let rec shed () =
+                  match S.call ~socket P.Ping with
+                  | Ok (P.Overloaded_r { o_retry_after_ms }) -> o_retry_after_ms
+                  | _ when Unix.gettimeofday () < deadline ->
+                    Unix.sleepf 0.05;
+                    shed ()
+                  | _ -> Alcotest.fail "no typed overloaded reply before timeout"
+                in
+                Alcotest.(check int) "shed carries the retry hint" 7 (shed ());
+                (* a retrying client that never finds room still gets the
+                   typed shed back, not an exception or a hang *)
+                match S.call ~retries:2 ~retry_base_ms:5 ~socket P.Ping with
+                | Ok (P.Overloaded_r _) -> ()
+                | Ok _ -> Alcotest.fail "retried call got through a zero-length queue"
+                | Error e -> Alcotest.failf "retried call errored instead of shedding: %s" e)));
+    t "wire faults: torn frame, byte flip, slow loris, vanishing client — daemon survives"
+      (fun () ->
+        with_server (fun server _ ->
+            with_daemon ~io_timeout_s:1.0 server (fun socket ->
+                (* pay for one sweep so the reply to the vanishing client
+                   below is a large frame written to a dead peer *)
+                let before =
+                  match S.call ~socket (explore_req "matmul") with
+                  | Ok (P.Explore_r x) -> x
+                  | _ -> Alcotest.fail "baseline explore failed"
+                in
+                let rng = Util.Rng.create 42 in
+                let payload = P.encode_request P.Ping in
+                List.iter
+                  (fun f ->
+                    let (_ : string) =
+                      CN.strike ~loris_interval_s:0.2 ~loris_max_bytes:4 ~rng ~socket ~payload f
+                    in
+                    match S.call ~socket P.Ping with
+                    | Ok P.Pong -> ()
+                    | _ -> Alcotest.failf "daemon unresponsive after %s" (CN.fault_name f))
+                  CN.all_faults;
+                (* the client that dies between request and reply: a full
+                   explore reply hits the closed socket (EPIPE); without
+                   SIGPIPE ignored this kills the whole process *)
+                let (_ : string) =
+                  CN.strike ~rng ~socket
+                    ~payload:(P.encode_request (explore_req "matmul"))
+                    CN.Disconnect_mid_reply
+                in
+                (match S.call ~socket P.Ping with
+                | Ok P.Pong -> ()
+                | _ -> Alcotest.fail "daemon died writing a reply to a vanished client");
+                (* and the warm results are still bit-identical *)
+                match S.call ~socket (explore_req "matmul") with
+                | Ok (P.Explore_r after) ->
+                  Alcotest.(check int) "warm after assault: zero runs" 0 after.x_runs;
+                  check_rows "warm after assault: rows bit-identical"
+                    (List.map
+                       (fun (r : P.measured_row) -> (r.m_desc, r.m_time_s))
+                       before.x_exhaustive)
+                    after.x_exhaustive
+                | _ -> Alcotest.fail "post-assault explore failed")));
+    t "SIGTERM drains gracefully: in-flight request finishes, listen returns" (fun () ->
+        with_server (fun server _ ->
+            with_daemon ~on_sigterm:true server (fun socket ->
+                let client = Domain.spawn (fun () -> S.call ~socket (explore_req "matmul")) in
+                Unix.sleepf 0.3;
+                Unix.kill (Unix.getpid ()) Sys.sigterm;
+                (match Domain.join client with
+                | Ok (P.Explore_r _) -> ()
+                | Ok _ -> Alcotest.fail "in-flight request: wrong reply type"
+                | Error e -> Alcotest.failf "in-flight request dropped by the drain: %s" e);
+                (* the drain must actually stop the daemon, not just the
+                   connection: give it a moment, then verify *)
+                let deadline = Unix.gettimeofday () +. 10.0 in
+                while not (S.stopping server) && Unix.gettimeofday () < deadline do
+                  Unix.sleepf 0.02
+                done;
+                Alcotest.(check bool) "stop flag raised by the handler" true
+                  (S.stopping server));
+            Sys.set_signal Sys.sigterm Sys.Signal_default));
+  ]
+
 let suite =
-  [ ("serve", identity_tests @ cache_tests @ handle_frame_tests @ socket_tests) ]
+  [
+    ( "serve",
+      identity_tests @ cache_tests @ handle_frame_tests @ socket_tests @ hardening_tests );
+  ]

@@ -14,7 +14,7 @@ let with_tmp (f : string -> 'a) : 'a =
 
 let with_store (f : string -> S.t -> 'a) : 'a =
   with_tmp (fun file ->
-      let s = S.open_ ~file in
+      let s = S.open_ ~file () in
       Fun.protect ~finally:(fun () -> S.close s) (fun () -> f file s))
 
 (* A synthetic but well-formed 32-hex-char key. *)
@@ -106,12 +106,12 @@ let roundtrip_tests =
                   [] entries)
            in
            with_tmp (fun file ->
-               let s = S.open_ ~file in
+               let s = S.open_ ~file () in
                List.iter
                  (fun (i, time) -> S.put s ~key:(key_of i) ~desc:(Printf.sprintf "cfg-%d" i) (Ok time))
                  entries;
                S.close s;
-               let s' = S.open_ ~file in
+               let s' = S.open_ ~file () in
                Fun.protect
                  ~finally:(fun () -> S.close s')
                  (fun () ->
@@ -134,10 +134,10 @@ let roundtrip_tests =
           ]
         in
         with_tmp (fun file ->
-            let s = S.open_ ~file in
+            let s = S.open_ ~file () in
             List.iteri (fun i fa -> S.put s ~key:(key_of i) ~desc:"d" (Error fa)) faults;
             S.close s;
-            let s' = S.open_ ~file in
+            let s' = S.open_ ~file () in
             Fun.protect
               ~finally:(fun () -> S.close s')
               (fun () ->
@@ -162,7 +162,7 @@ let roundtrip_tests =
             | _ -> Alcotest.fail "entry lost"));
     t "put on a closed store is refused" (fun () ->
         with_tmp (fun file ->
-            let s = S.open_ ~file in
+            let s = S.open_ ~file () in
             S.close s;
             match S.put s ~key:(key_of 1) ~desc:"d" (Ok 1.0) with
             | () -> Alcotest.fail "put succeeded on a closed store"
@@ -177,7 +177,7 @@ let concurrency_tests =
   [
     t "concurrent writers from N domains leave a consistent store" (fun () ->
         with_tmp (fun file ->
-            let s = S.open_ ~file in
+            let s = S.open_ ~file () in
             let n = 200 in
             (* Four domains race 200 puts, with every key written twice
                (two writers per key) to exercise the already-present
@@ -191,7 +191,7 @@ let concurrency_tests =
                  work
                 : unit list);
             S.close s;
-            let s' = S.open_ ~file in
+            let s' = S.open_ ~file () in
             Fun.protect
               ~finally:(fun () -> S.close s')
               (fun () ->
@@ -227,7 +227,7 @@ let mangle_line file lineno (f : string -> string option) : unit =
         lines')
 
 let fill_store file n =
-  let s = S.open_ ~file in
+  let s = S.open_ ~file () in
   for i = 0 to n - 1 do
     S.put s ~key:(key_of i) ~desc:(Printf.sprintf "cfg-%d" i) (Ok (float_of_int i))
   done;
@@ -244,7 +244,7 @@ let corruption_tests =
                 let p = Bytes.length b - 1 in
                 Bytes.set b p (if Bytes.get b p = '0' then '1' else '0');
                 Some (Bytes.to_string b));
-            let s = S.open_ ~file in
+            let s = S.open_ ~file () in
             Fun.protect
               ~finally:(fun () -> S.close s)
               (fun () ->
@@ -259,7 +259,7 @@ let corruption_tests =
         with_tmp (fun file ->
             fill_store file 5;
             mangle_line file 3 (fun l -> Some (String.sub l 0 (String.length l / 2)));
-            let s = S.open_ ~file in
+            let s = S.open_ ~file () in
             Fun.protect
               ~finally:(fun () -> S.close s)
               (fun () ->
@@ -269,7 +269,7 @@ let corruption_tests =
         with_tmp (fun file ->
             fill_store file 3;
             mangle_line file 2 (fun _ -> Some "x totally not a record");
-            let s = S.open_ ~file in
+            let s = S.open_ ~file () in
             Fun.protect
               ~finally:(fun () -> S.close s)
               (fun () ->
@@ -282,7 +282,7 @@ let corruption_tests =
         with_tmp (fun file ->
             Out_channel.with_open_text file (fun oc ->
                 Out_channel.output_string oc "some other format v9\n");
-            match S.open_ ~file with
+            match S.open_ ~file () with
             | (_ : S.t) -> Alcotest.fail "foreign file accepted"
             | exception Failure msg ->
               Alcotest.(check bool) "error names the file" true
@@ -291,4 +291,159 @@ let corruption_tests =
                 && Option.is_some (String.index_opt msg ':'))));
   ]
 
-let suite = [ ("store", digest_tests @ roundtrip_tests @ concurrency_tests @ corruption_tests) ]
+(* ------------------------------------------------------------------ *)
+(* Durability, torn writes, fsck and compaction                        *)
+(* ------------------------------------------------------------------ *)
+
+let write_prefix ~(src : string) ~(dst : string) (len : int) : unit =
+  let s = In_channel.with_open_bin src In_channel.input_all in
+  Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc (String.sub s 0 len))
+
+let hardening_tests =
+  [
+    t "a torn final record recovers the completed prefix at every cut offset" (fun () ->
+        (* The crash-recovery proof: kill -9 lands mid-append, so the
+           file ends at an arbitrary byte of the record being written.
+           For EVERY such offset, reopening must yield exactly the
+           completed records, report the torn tail, and never raise. *)
+        with_tmp (fun file ->
+            fill_store file 4;
+            let full = In_channel.with_open_bin file In_channel.input_all in
+            let before_last = String.rindex_from full (String.length full - 2) '\n' + 1 in
+            with_tmp (fun torn ->
+                (* a cut that loses only the trailing newline leaves the
+                   whole record on disk: that one must fully recover *)
+                write_prefix ~src:file ~dst:torn (String.length full - 1);
+                let s = S.open_ ~file:torn () in
+                Fun.protect
+                  ~finally:(fun () -> S.close s)
+                  (fun () ->
+                    Alcotest.(check int) "newline-only tear: all records recover" 4 (S.loaded s));
+                for cut = before_last to String.length full - 2 do
+                  write_prefix ~src:file ~dst:torn cut;
+                  let s = S.open_ ~file:torn () in
+                  Fun.protect
+                    ~finally:(fun () -> S.close s)
+                    (fun () ->
+                      Alcotest.(check int)
+                        (Printf.sprintf "cut %d: completed prefix intact" cut)
+                        3 (S.loaded s);
+                      for i = 0 to 2 do
+                        match S.get s (key_of i) with
+                        | Some (Ok x) ->
+                          if not (feq x (float_of_int i)) then
+                            Alcotest.failf "cut %d: key %d read back wrong" cut i
+                        | _ -> Alcotest.failf "cut %d: key %d lost" cut i
+                      done;
+                      Alcotest.(check bool)
+                        (Printf.sprintf "cut %d: torn key absent" cut)
+                        false (S.mem s (key_of 3));
+                      Alcotest.(check int)
+                        (Printf.sprintf "cut %d: torn tail reported" cut)
+                        (if cut > before_last then 1 else 0)
+                        (List.length (S.corrupt_entries s)))
+                done)));
+    t "durable appends read back bit-exact after close and reopen" (fun () ->
+        with_tmp (fun file ->
+            let s = S.open_ ~durable:true ~file () in
+            for i = 0 to 9 do
+              S.put s ~key:(key_of i) ~desc:(Printf.sprintf "cfg-%d" i)
+                (Ok (float_of_int i *. 0x1p-7))
+            done;
+            S.close s;
+            let s' = S.open_ ~file () in
+            Fun.protect
+              ~finally:(fun () -> S.close s')
+              (fun () ->
+                Alcotest.(check int) "all durable entries loaded" 10 (S.loaded s');
+                for i = 0 to 9 do
+                  match S.get s' (key_of i) with
+                  | Some (Ok x) ->
+                    if not (feq x (float_of_int i *. 0x1p-7)) then
+                      Alcotest.failf "durable key %d read back wrong" i
+                  | _ -> Alcotest.failf "durable key %d lost" i
+                done)));
+    t "fsck counts duplicates and corruption; compact reclaims exactly that" (fun () ->
+        with_tmp (fun file ->
+            fill_store file 6;
+            (* replayed append: duplicate key 2's line at the tail *)
+            let lines = In_channel.with_open_text file In_channel.input_lines in
+            let dup = List.nth lines 3 in
+            Out_channel.with_open_gen
+              [ Open_append; Open_wronly ]
+              0o644 file
+              (fun oc -> Out_channel.output_string oc (dup ^ "\n"));
+            (* torn write: truncate key 4's line *)
+            mangle_line file 5 (fun l -> Some (String.sub l 0 (String.length l - 3)));
+            let r = S.fsck ~file in
+            Alcotest.(check int) "records scanned" 7 r.S.fs_records;
+            Alcotest.(check int) "valid keys" 5 r.S.fs_valid;
+            Alcotest.(check int) "duplicates" 1 r.S.fs_duplicates;
+            Alcotest.(check int) "corrupt lines" 1 (List.length r.S.fs_corrupt);
+            Alcotest.(check bool) "reclaimable bytes positive" true (r.S.fs_reclaimable > 0);
+            let _r2, reclaimed = S.compact ~file in
+            Alcotest.(check int) "compact reclaims what fsck promised" r.S.fs_reclaimable
+              reclaimed;
+            let r3 = S.fsck ~file in
+            Alcotest.(check int) "clean after compact: nothing reclaimable" 0 r3.S.fs_reclaimable;
+            Alcotest.(check int) "clean after compact: no corruption" 0
+              (List.length r3.S.fs_corrupt);
+            Alcotest.(check int) "clean after compact: no duplicates" 0 r3.S.fs_duplicates;
+            let s = S.open_ ~file () in
+            Fun.protect
+              ~finally:(fun () -> S.close s)
+              (fun () ->
+                Alcotest.(check int) "survivors load" 5 (S.loaded s);
+                Alcotest.(check bool) "corrupt key gone" false (S.mem s (key_of 4));
+                List.iter
+                  (fun i ->
+                    match S.get s (key_of i) with
+                    | Some (Ok x) ->
+                      if not (feq x (float_of_int i)) then
+                        Alcotest.failf "key %d wrong after compact" i
+                    | _ -> Alcotest.failf "key %d lost by compact" i)
+                  [ 0; 1; 2; 3; 5 ])));
+    qt
+      (QCheck.Test.make
+         ~name:"4-domain appends + a kill truncation lose at most the torn tail (qcheck)"
+         ~count:15
+         QCheck.(pair (int_bound 1_000_000) (int_bound 16))
+         (fun (cutseed, extra) ->
+           with_tmp (fun file ->
+               let n = 24 + extra in
+               let s = S.open_ ~file () in
+               ignore
+                 (Util.Pool.map ~jobs:4
+                    (fun i ->
+                      S.put s ~key:(key_of i) ~desc:(Printf.sprintf "cfg-%d" i)
+                        (Ok (float_of_int i *. 0x1p-10)))
+                    (List.init n Fun.id)
+                   : unit list);
+               S.close s;
+               let full = In_channel.with_open_bin file In_channel.input_all in
+               let hdr = String.index full '\n' + 1 in
+               let cut = hdr + (cutseed mod (String.length full - hdr + 1)) in
+               with_tmp (fun torn ->
+                   write_prefix ~src:file ~dst:torn cut;
+                   let s' = S.open_ ~file:torn () in
+                   Fun.protect
+                     ~finally:(fun () -> S.close s')
+                     (fun () ->
+                       (* one truncation can damage at most the record it
+                          landed in, and anything that survives reads
+                          back exactly as written *)
+                       List.length (S.corrupt_entries s') <= 1
+                       && List.for_all
+                            (fun i ->
+                              match S.get s' (key_of i) with
+                              | None -> true
+                              | Some (Ok x) -> feq x (float_of_int i *. 0x1p-10)
+                              | Some (Error _) -> false)
+                            (List.init n Fun.id))))));
+  ]
+
+let suite =
+  [
+    ( "store",
+      digest_tests @ roundtrip_tests @ concurrency_tests @ corruption_tests @ hardening_tests );
+  ]

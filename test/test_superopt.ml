@@ -396,14 +396,14 @@ let store_tests =
         with_tmp (fun file ->
             let key = Digest.to_hex (Digest.string "blob-test") in
             let content = "line one\nline two \"quoted\"\n\tlast" in
-            let s = Tuner.Store.open_ ~file in
+            let s = Tuner.Store.open_ ~file () in
             Tuner.Store.put_blob s ~key ~name:"test-blob" content;
             Alcotest.(check (option string)) "readback" (Some content)
               (Tuner.Store.get_blob s key);
             Alcotest.(check (option string)) "measurement view of a blob key" None
               (Option.map (fun _ -> "meas") (Tuner.Store.get s key));
             Tuner.Store.close s;
-            let s2 = Tuner.Store.open_ ~file in
+            let s2 = Tuner.Store.open_ ~file () in
             Alcotest.(check int) "no corrupt lines" 0
               (List.length (Tuner.Store.corrupt_entries s2));
             Alcotest.(check (option string)) "readback after reopen" (Some content)
@@ -411,7 +411,7 @@ let store_tests =
             Tuner.Store.close s2));
     t "discover_cached reuses the stored database bit-for-bit" (fun () ->
         with_tmp (fun file ->
-            let s = Tuner.Store.open_ ~file in
+            let s = Tuner.Store.open_ ~file () in
             let cold = So.discover_cached ~store:s ~jobs:1 ~max_len:1 () in
             Alcotest.(check bool) "cold run not cached" false cold.So.cached;
             let warm = So.discover_cached ~store:s ~jobs:1 ~max_len:1 () in
